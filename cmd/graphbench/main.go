@@ -1,0 +1,56 @@
+// Command graphbench runs the paper-reproduction experiments and prints
+// their tables. With no arguments it lists the experiments; pass experiment
+// ids (or "all") to run them.
+//
+//	graphbench                # list experiments
+//	graphbench fig1 tab1-gpu  # run two experiments
+//	graphbench all            # regenerate every table and claim
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"graphsys/internal/experiments"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: graphbench [all | <experiment-id>...]\n\n")
+		list()
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		list()
+		return
+	}
+	var ids []string
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = args
+	}
+	for _, id := range ids {
+		exp, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "graphbench: unknown experiment %q (run with no args to list)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		table := exp.Run()
+		table.Fprint(os.Stdout)
+		fmt.Printf("  [%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func list() {
+	fmt.Println("experiments (paper artifact → id):")
+	for _, e := range experiments.All() {
+		fmt.Printf("  %-16s %s\n", e.ID, e.Title)
+	}
+}

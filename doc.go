@@ -1,0 +1,15 @@
+// Package graphsys is a pure-Go reproduction of the system families surveyed
+// in "Systems for Scalable Graph Analytics and Machine Learning: Trends and
+// Methods" (Yan, Yuan, Ahmad, Adhikari): think-like-a-vertex (Pregel),
+// think-like-a-task (G-thinker), BFS-extension mining (Arabesque),
+// compiled subgraph matching (GraphPi), frequent subgraph mining
+// (gSpan/GraMi/T-FSM/PrefixFPM), online subgraph querying (G-thinkerQ),
+// simulated-GPU matching (GSI/STMatch/EGSM/G²-AIMD), vertex embeddings
+// (DeepWalk/node2vec), GNN models and training regimes (GCN/GraphSAGE/GAT),
+// and the distributed GNN training techniques of the paper's Table 2.
+//
+// The public pipeline API lives in internal/core; runnable experiments that
+// regenerate every table/figure/claim of the paper live in
+// internal/experiments and are driven by cmd/graphbench. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package graphsys

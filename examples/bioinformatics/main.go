@@ -1,0 +1,67 @@
+// Bioinformatics: the paper's Figure-1 path 4 on a molecule-like dataset —
+// mine frequent subgraph patterns (functional groups) from labeled
+// transaction graphs, use pattern occurrence as features, and classify
+// active vs inactive molecules; plus a motif census of one molecule.
+//
+//	go run ./examples/bioinformatics
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"graphsys/internal/core"
+	"graphsys/internal/fsm"
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/mining"
+)
+
+func main() {
+	// synthetic molecule database: class 1 embeds a labeled ring motif
+	db := gen.MoleculeDB(100, 9, 4, 0.95, 123)
+	fmt.Printf("molecule database: %d transactions (%d active / %d inactive)\n",
+		db.Len(), count(db.Class, 1), count(db.Class, 0))
+
+	// --- frequent subgraph mining on the training split ---
+	rng := rand.New(rand.NewSource(1))
+	trainMask := make([]bool, db.Len())
+	for i := range trainMask {
+		trainMask[i] = rng.Float64() < 0.6
+	}
+	trainDB := db
+	patterns := fsm.MineTransactions(trainDB, fsm.MineConfig{MinSupport: 20, MaxEdges: 4, Workers: 8})
+	fmt.Printf("\nfrequent patterns (support ≥ 20, ≤ 4 edges): %d\n", len(patterns))
+	sort.Slice(patterns, func(i, j int) bool { return patterns[i].Support > patterns[j].Support })
+	for i := 0; i < 5 && i < len(patterns); i++ {
+		pg := patterns[i].Graph()
+		fmt.Printf("  #%d support=%d vertices=%d edges=%d code=%v\n",
+			i+1, patterns[i].Support, pg.NumVertices(), pg.NumEdges(), patterns[i].Code)
+	}
+
+	// --- pattern features → molecule classification ---
+	acc := core.GraphClassification(db, trainMask, 20, 4, 8, 7)
+	fmt.Printf("\ngraph classification (FSM features + LogReg): test accuracy %.3f\n", acc)
+
+	// --- motif census of the first molecule (topology only) ---
+	mol := db.Graphs[0]
+	ub := graph.NewBuilder(mol.NumVertices(), false)
+	mol.EdgesOnce(func(u, v graph.V) { ub.AddEdge(u, v) })
+	unlabeled := ub.Build()
+	fmt.Printf("\nmotif census of molecule 0 (%v):\n", mol)
+	motifs, _ := mining.MotifCounts(unlabeled, 3, mining.Config{Workers: 4})
+	for code, n := range motifs {
+		fmt.Printf("  %-16s ×%d\n", mining.PatternName(code), n)
+	}
+}
+
+func count(xs []int, v int) int {
+	c := 0
+	for _, x := range xs {
+		if x == v {
+			c++
+		}
+	}
+	return c
+}

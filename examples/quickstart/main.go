@@ -1,0 +1,62 @@
+// Quickstart: load (or generate) a graph and run one workload from each
+// family the library covers — vertex analytics, structure analytics, and a
+// GNN — in under a minute.
+//
+//	go run ./examples/quickstart [edgelist.txt]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"graphsys/internal/core"
+	"graphsys/internal/gnn"
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+)
+
+func main() {
+	log.SetFlags(0)
+	var g *graph.Graph
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatalf("quickstart: %v", err)
+		}
+		defer f.Close()
+		g, err = graph.ReadEdgeList(f)
+		if err != nil {
+			log.Fatalf("quickstart: %v", err)
+		}
+		fmt.Printf("loaded %v\n", g)
+	} else {
+		g = gen.BarabasiAlbert(1000, 4, 42)
+		fmt.Printf("generated %v (Barabási–Albert)\n", g)
+	}
+
+	p := core.NewPipeline(g, 4)
+
+	// vertex analytics: PageRank
+	ranks := p.PageRank(20)
+	best := 0
+	for v := range ranks {
+		if ranks[v] > ranks[best] {
+			best = v
+		}
+	}
+	fmt.Printf("PageRank: top vertex %d (score %.5f)\n", best, ranks[best])
+
+	// structure analytics: maximal cliques and the largest one
+	cliques := p.MaximalCliques(false)
+	fmt.Printf("maximal cliques: %d (largest has %d vertices)\n", cliques.Count, len(cliques.Largest))
+
+	// structure analytics: triangle count via a compiled matching plan
+	tri := p.CountPattern(gen.Clique(3))
+	fmt.Printf("triangles: %d\n", tri)
+
+	// ML: structural features → tiny GCN node classifier on a synthetic task
+	task := gnn.SyntheticCommunityTask(400, 3, 2, 0.3, 7)
+	acc := core.NewPipeline(task.G, 4).TrainGNN(task, gnn.GCN, 16, 40, 1)
+	fmt.Printf("GCN on a 3-community task: test accuracy %.3f\n", acc)
+}

@@ -1,0 +1,82 @@
+// Socialnet: the community-detection pipeline of the paper's Figure 1 paths
+// 3 and 2 on a synthetic social network — dense subgraph mining (k-truss and
+// quasi-cliques) to find candidate communities, then classic structural
+// features and a node classifier to label every member, then a GNN for
+// comparison.
+//
+//	go run ./examples/socialnet
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"graphsys/internal/core"
+	"graphsys/internal/gnn"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/tthinker"
+)
+
+func main() {
+	// a social network: 4 communities, heavy intra-community wiring
+	c := gen.PlantedPartitionSparse(600, 4, 12, 1.5, 99)
+	g := c.Graph
+	fmt.Printf("social network: %v, 4 planted communities\n\n", g)
+	p := core.NewPipeline(g, 8)
+
+	// --- structure analytics: who forms tight groups? ---
+	fmt.Println("== structure analytics (path 3) ==")
+	maxTruss := tthinker.MaxTruss(g)
+	community := p.KTrussCommunity(maxTruss)
+	fmt.Printf("densest k-truss: k=%d with %d members\n", maxTruss, len(community))
+
+	cliques := p.MaximalCliques(true)
+	sort.Slice(cliques.Cliques, func(i, j int) bool {
+		return len(cliques.Cliques[i]) > len(cliques.Cliques[j])
+	})
+	fmt.Printf("maximal cliques: %d; largest: %v\n", cliques.Count, cliques.Largest)
+	show := 3
+	if len(cliques.Cliques) < show {
+		show = len(cliques.Cliques)
+	}
+	for i := 0; i < show; i++ {
+		fmt.Printf("  top clique %d: %v\n", i+1, cliques.Cliques[i])
+	}
+
+	// --- vertex analytics + ML: label every vertex with its community ---
+	fmt.Println("\n== vertex analytics + ML (path 2) ==")
+	labels := make([]int, g.NumVertices())
+	train := make([]bool, g.NumVertices())
+	test := make([]bool, g.NumVertices())
+	for v := 0; v < g.NumVertices(); v++ {
+		labels[v] = c.Membership[v]
+		if v%3 == 0 {
+			train[v] = true
+		} else {
+			test[v] = true
+		}
+	}
+
+	emb := p.DeepWalkEmbeddings(16, 5)
+	clf := p.TrainNodeClassifier(emb, labels, train, 1)
+	fmt.Printf("DeepWalk(16) + LogReg: community labeling accuracy %.3f\n",
+		clf.Accuracy(emb, labels, test))
+
+	sf := p.StructuralFeatureMatrix()
+	clfS := p.TrainNodeClassifier(sf, labels, train, 1)
+	fmt.Printf("structural features + LogReg:                 %.3f\n",
+		clfS.Accuracy(sf, labels, test))
+
+	// GNN over embeddings as input features
+	task := &gnn.Task{G: g, X: emb, Labels: labels, TrainMask: train, TestMask: test, NumClasses: 4}
+	fmt.Printf("GraphSAGE over the embeddings:                %.3f\n",
+		p.TrainGNN(task, gnn.SAGE, 16, 40, 2))
+
+	// sanity: connected components of the whole network
+	cc := p.ConnectedComponents()
+	comps := map[int32]bool{}
+	for _, l := range cc {
+		comps[l] = true
+	}
+	fmt.Printf("\nnetwork has %d connected component(s)\n", len(comps))
+}

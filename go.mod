@@ -1,0 +1,3 @@
+module graphsys
+
+go 1.22

@@ -1,0 +1,102 @@
+// Package cluster is the simulated distributed runtime every "distributed"
+// system in this repository runs on. Real deployments of the surveyed systems
+// (Pregel, G-thinker, DistDGL, P³, …) run on multi-machine clusters; here a
+// cluster is N in-process workers that may exchange data only through a
+// metered Network, so communication volume, synchronisation rounds and load
+// balance — the quantities the paper's comparisons are about — are measured
+// exactly rather than inferred from wall-clock time.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Cluster models a set of workers connected by a metered network.
+type Cluster struct {
+	n   int
+	net *Network
+}
+
+// New creates a cluster with n workers and uniform link costs.
+func New(n int) *Cluster {
+	if n <= 0 {
+		panic("cluster: need at least one worker")
+	}
+	return &Cluster{n: n, net: NewNetwork(n)}
+}
+
+// NumWorkers returns the number of workers.
+func (c *Cluster) NumWorkers() int { return c.n }
+
+// Network returns the cluster's metered network.
+func (c *Cluster) Network() *Network { return c.net }
+
+// Run executes fn concurrently on every worker (fn receives the worker id)
+// and blocks until all complete. Panics in workers are propagated.
+func (c *Cluster) Run(fn func(worker int)) {
+	var wg sync.WaitGroup
+	panics := make([]any, c.n)
+	for w := 0; w < c.n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[w] = r
+				}
+			}()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+	for w, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("cluster: worker %d panicked: %v", w, p))
+		}
+	}
+}
+
+// Owner returns the worker owning item id under hash placement.
+func (c *Cluster) Owner(id int64) int {
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return int(h % uint64(c.n))
+}
+
+// Barrier is a reusable synchronisation barrier for n parties.
+type Barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	round  int
+	action func()
+}
+
+// NewBarrier creates a barrier for n parties. If action is non-nil it runs
+// exactly once per round, by the last arriving party, before others release.
+func NewBarrier(n int, action func()) *Barrier {
+	b := &Barrier{n: n, action: action}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all n parties have called Wait for the current round.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	round := b.round
+	b.count++
+	if b.count == b.n {
+		if b.action != nil {
+			b.action()
+		}
+		b.count = 0
+		b.round++
+		b.cond.Broadcast()
+		return
+	}
+	for b.round == round {
+		b.cond.Wait()
+	}
+}

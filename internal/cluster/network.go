@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Network meters all cross-worker traffic. Messages between distinct workers
+// count toward Bytes/Messages and accumulate WeightedCost = bytes×linkCost;
+// worker-local deliveries are counted separately (they model shared-memory
+// access and are free in the surveyed systems' cost models).
+//
+// Heterogeneous links (the DGCL NVLink scenario) are expressed through the
+// per-byte link cost matrix: a fast NVLink pair has cost ≪ 1, a cross-host
+// TCP link cost 1.
+type Network struct {
+	n        int
+	linkCost [][]float64
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+	local    atomic.Int64
+	rounds   atomic.Int64
+
+	mu   sync.Mutex
+	cost float64
+}
+
+// NewNetwork creates a network for n workers with uniform link cost 1.
+func NewNetwork(n int) *Network {
+	lc := make([][]float64, n)
+	for i := range lc {
+		lc[i] = make([]float64, n)
+		for j := range lc[i] {
+			lc[i][j] = 1
+		}
+	}
+	return &Network{n: n, linkCost: lc}
+}
+
+// SetLinkCost sets the per-byte cost of the directed link i→j.
+func (net *Network) SetLinkCost(i, j int, cost float64) {
+	net.linkCost[i][j] = cost
+}
+
+// LinkCost returns the per-byte cost of the link i→j.
+func (net *Network) LinkCost(i, j int) float64 { return net.linkCost[i][j] }
+
+// Account records a transfer of size bytes from worker i to worker j.
+// It carries no payload; payload delivery is the caller's concern (Mailboxes,
+// shared structures). Local transfers (i==j) are metered separately.
+func (net *Network) Account(i, j int, size int64) {
+	if i == j {
+		net.local.Add(1)
+		return
+	}
+	net.messages.Add(1)
+	net.bytes.Add(size)
+	net.mu.Lock()
+	net.cost += float64(size) * net.linkCost[i][j]
+	net.mu.Unlock()
+}
+
+// AccountRound records the completion of one global synchronisation round.
+func (net *Network) AccountRound() { net.rounds.Add(1) }
+
+// Stats is a snapshot of network counters.
+type Stats struct {
+	Messages      int64   // cross-worker messages
+	Bytes         int64   // cross-worker bytes
+	LocalMessages int64   // worker-local deliveries (free)
+	Rounds        int64   // synchronisation rounds
+	WeightedCost  float64 // Σ bytes × linkCost
+}
+
+// Stats returns a snapshot of the counters.
+func (net *Network) Stats() Stats {
+	net.mu.Lock()
+	cost := net.cost
+	net.mu.Unlock()
+	return Stats{
+		Messages:      net.messages.Load(),
+		Bytes:         net.bytes.Load(),
+		LocalMessages: net.local.Load(),
+		Rounds:        net.rounds.Load(),
+		WeightedCost:  cost,
+	}
+}
+
+// Reset zeroes all counters.
+func (net *Network) Reset() {
+	net.messages.Store(0)
+	net.bytes.Store(0)
+	net.local.Store(0)
+	net.rounds.Store(0)
+	net.mu.Lock()
+	net.cost = 0
+	net.mu.Unlock()
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("net{msgs=%d bytes=%d local=%d rounds=%d cost=%.0f}",
+		s.Messages, s.Bytes, s.LocalMessages, s.Rounds, s.WeightedCost)
+}
+
+// Mailboxes is a double-buffered, superstep-oriented message store: messages
+// sent during round r become visible after Exchange(), matching the BSP
+// semantics of Pregel-style systems. It is safe for concurrent senders.
+type Mailboxes[M any] struct {
+	net     *Network
+	size    func(M) int64
+	mu      []sync.Mutex
+	inbox   [][]M // visible to receivers this round
+	outbox  [][]M // being filled for next round
+	pending atomic.Int64
+}
+
+// NewMailboxes creates mailboxes for n workers on net. size reports the wire
+// size of a message for metering; pass nil to meter a flat 8 bytes/message.
+func NewMailboxes[M any](net *Network, size func(M) int64) *Mailboxes[M] {
+	n := net.n
+	if size == nil {
+		size = func(M) int64 { return 8 }
+	}
+	return &Mailboxes[M]{
+		net:    net,
+		size:   size,
+		mu:     make([]sync.Mutex, n),
+		inbox:  make([][]M, n),
+		outbox: make([][]M, n),
+	}
+}
+
+// Send queues msg from worker `from` to worker `to` for the next round.
+func (mb *Mailboxes[M]) Send(from, to int, msg M) {
+	mb.net.Account(from, to, mb.size(msg))
+	mb.mu[to].Lock()
+	mb.outbox[to] = append(mb.outbox[to], msg)
+	mb.mu[to].Unlock()
+	mb.pending.Add(1)
+}
+
+// Exchange makes all queued messages visible and clears the previous round's
+// inboxes. Call it from exactly one goroutine at a barrier. It returns the
+// number of messages delivered.
+func (mb *Mailboxes[M]) Exchange() int64 {
+	delivered := mb.pending.Swap(0)
+	for w := range mb.inbox {
+		mb.inbox[w] = mb.inbox[w][:0]
+		mb.inbox[w], mb.outbox[w] = mb.outbox[w], mb.inbox[w]
+	}
+	mb.net.AccountRound()
+	return delivered
+}
+
+// Receive returns the messages visible to worker w this round. The slice is
+// valid until the next Exchange.
+func (mb *Mailboxes[M]) Receive(w int) []M { return mb.inbox[w] }

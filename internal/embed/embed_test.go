@@ -1,0 +1,153 @@
+package embed
+
+import (
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+)
+
+func TestRandomWalksValid(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 1)
+	walks := RandomWalks(g, 2, 10, 7)
+	if len(walks) != 200 {
+		t.Fatalf("walk count %d", len(walks))
+	}
+	for _, w := range walks {
+		if len(w) != 11 {
+			t.Fatalf("walk length %d (graph is connected, no early stop)", len(w))
+		}
+		for i := 1; i < len(w); i++ {
+			if !g.HasEdge(w[i-1], w[i]) {
+				t.Fatal("walk used a non-edge")
+			}
+		}
+	}
+}
+
+func TestRandomWalksStopAtIsolated(t *testing.T) {
+	g := graph.FromEdges(3, [][2]graph.V{{0, 1}}) // vertex 2 isolated
+	walks := RandomWalks(g, 1, 5, 1)
+	for _, w := range walks {
+		if w[0] == 2 && len(w) != 1 {
+			t.Fatalf("walk from isolated vertex has length %d", len(w))
+		}
+	}
+}
+
+func TestRandomWalksDeterministic(t *testing.T) {
+	g := gen.ErdosRenyi(50, 200, 2)
+	a := RandomWalks(g, 1, 8, 42)
+	b := RandomWalks(g, 1, 8, 42)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("walks not deterministic")
+			}
+		}
+	}
+}
+
+func TestNode2VecBias(t *testing.T) {
+	// barbell-ish graph: two cliques joined by a path. With q≫1 (BFS-like)
+	// walks should revisit the start clique more than with q≪1 (DFS-like).
+	b := graph.NewBuilder(23, false)
+	for u := 0; u < 8; u++ {
+		for v := u + 1; v < 8; v++ {
+			b.AddEdge(graph.V(u), graph.V(v))
+		}
+	}
+	for u := 15; u < 23; u++ {
+		for v := u + 1; v < 23; v++ {
+			b.AddEdge(graph.V(u), graph.V(v))
+		}
+	}
+	for v := 7; v < 16; v++ {
+		b.AddEdge(graph.V(v), graph.V(v+1))
+	}
+	g := b.Build()
+	countFar := func(walks [][]graph.V) int {
+		far := 0
+		for _, w := range walks {
+			if w[0] >= 8 { // only walks starting in the first clique
+				continue
+			}
+			for _, v := range w {
+				if v >= 15 {
+					far++
+					break
+				}
+			}
+		}
+		return far
+	}
+	bfsLike := countFar(Node2VecWalks(g, 6, 12, 1, 4, 3))
+	dfsLike := countFar(Node2VecWalks(g, 6, 12, 1, 0.25, 3))
+	if dfsLike <= bfsLike {
+		t.Fatalf("low-q walks reached the far clique %d times, high-q %d — expected more exploration with low q",
+			dfsLike, bfsLike)
+	}
+	// walks must still be valid
+	for _, w := range Node2VecWalks(g, 1, 6, 1, 1, 4) {
+		for i := 1; i < len(w); i++ {
+			if !g.HasEdge(w[i-1], w[i]) {
+				t.Fatal("invalid node2vec step")
+			}
+		}
+	}
+}
+
+func TestDeepWalkEmbeddingsSeparateCommunities(t *testing.T) {
+	c := gen.PlantedPartitionSparse(120, 2, 12, 0.5, 5)
+	emb := DeepWalk(c.Graph, 6, 20, SkipGramConfig{Dim: 16, Epochs: 3, Seed: 9})
+	// average intra-community cosine similarity should exceed inter
+	var intra, inter float64
+	var ni, nx int
+	for a := 0; a < 120; a += 3 {
+		for b := a + 1; b < 120; b += 7 {
+			s := CosineSimilarity(emb, a, b)
+			if c.Membership[a] == c.Membership[b] {
+				intra += s
+				ni++
+			} else {
+				inter += s
+				nx++
+			}
+		}
+	}
+	intra /= float64(ni)
+	inter /= float64(nx)
+	if intra <= inter {
+		t.Fatalf("intra-community similarity %.3f not above inter %.3f", intra, inter)
+	}
+}
+
+func TestSkipGramShapesAndDeterminism(t *testing.T) {
+	g := gen.ErdosRenyi(40, 120, 1)
+	e1 := DeepWalk(g, 2, 8, SkipGramConfig{Dim: 8, Seed: 5})
+	e2 := DeepWalk(g, 2, 8, SkipGramConfig{Dim: 8, Seed: 5})
+	if e1.Rows != 40 || e1.Cols != 8 {
+		t.Fatalf("embedding shape %dx%d", e1.Rows, e1.Cols)
+	}
+	for i := range e1.Data {
+		if e1.Data[i] != e2.Data[i] {
+			t.Fatal("embeddings not deterministic")
+		}
+	}
+}
+
+func TestCosineSimilarityBounds(t *testing.T) {
+	g := gen.Clique(10)
+	emb := DeepWalk(g, 2, 5, SkipGramConfig{Dim: 4, Seed: 1})
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			s := CosineSimilarity(emb, a, b)
+			if s < -1.0001 || s > 1.0001 {
+				t.Fatalf("cosine out of range: %f", s)
+			}
+		}
+	}
+	if s := CosineSimilarity(emb, 3, 3); s < 0.999 {
+		t.Fatalf("self-similarity %f", s)
+	}
+}

@@ -1,0 +1,159 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/tensor"
+)
+
+// SkipGramConfig controls embedding training.
+type SkipGramConfig struct {
+	Dim       int     // embedding dimension (default 32)
+	Window    int     // context window radius (default 4)
+	Negatives int     // negative samples per positive (default 5)
+	LR        float64 // starting learning rate (default 0.025)
+	Epochs    int     // passes over the walk corpus (default 2)
+	Seed      int64
+}
+
+func (c *SkipGramConfig) defaults() {
+	if c.Dim == 0 {
+		c.Dim = 32
+	}
+	if c.Window == 0 {
+		c.Window = 4
+	}
+	if c.Negatives == 0 {
+		c.Negatives = 5
+	}
+	if c.LR == 0 {
+		c.LR = 0.025
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 2
+	}
+}
+
+// SkipGram trains vertex embeddings with skip-gram + negative sampling
+// (word2vec SGNS) over the walk corpus: for every (center, context) pair
+// within the window, the dot product of the input embedding of the center
+// and the output embedding of the context is pushed up, and down for
+// sampled negatives. Returns the n×Dim input-embedding matrix.
+func SkipGram(n int, walks [][]graph.V, cfg SkipGramConfig) *tensor.Matrix {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := tensor.New(n, cfg.Dim)
+	out := tensor.New(n, cfg.Dim)
+	for i := range in.Data {
+		in.Data[i] = (rng.Float32() - 0.5) / float32(cfg.Dim)
+	}
+	// negative-sampling distribution ∝ freq^(3/4)
+	freq := make([]float64, n)
+	for _, w := range walks {
+		for _, v := range w {
+			freq[v]++
+		}
+	}
+	var cum []float64
+	var total float64
+	for _, f := range freq {
+		total += math.Pow(f, 0.75)
+		cum = append(cum, total)
+	}
+	sample := func() int {
+		x := rng.Float64() * total
+		lo, hi := 0, n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	sigmoid := func(x float32) float32 {
+		return float32(1 / (1 + math.Exp(-float64(x))))
+	}
+	lr := float32(cfg.LR)
+	gradIn := make([]float32, cfg.Dim)
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		for _, walk := range walks {
+			for i, center := range walk {
+				lo := i - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := i + cfg.Window
+				if hi >= len(walk) {
+					hi = len(walk) - 1
+				}
+				cRow := in.Row(int(center))
+				for j := lo; j <= hi; j++ {
+					if j == i {
+						continue
+					}
+					for k := range gradIn {
+						gradIn[k] = 0
+					}
+					// positive pair + negatives
+					targets := make([]int, 0, cfg.Negatives+1)
+					labels := make([]float32, 0, cfg.Negatives+1)
+					targets = append(targets, int(walk[j]))
+					labels = append(labels, 1)
+					for s := 0; s < cfg.Negatives; s++ {
+						targets = append(targets, sample())
+						labels = append(labels, 0)
+					}
+					for t, tgt := range targets {
+						oRow := out.Row(tgt)
+						var dot float32
+						for k := range cRow {
+							dot += cRow[k] * oRow[k]
+						}
+						g := (sigmoid(dot) - labels[t]) * lr
+						for k := range cRow {
+							gradIn[k] += g * oRow[k]
+							oRow[k] -= g * cRow[k]
+						}
+					}
+					for k := range cRow {
+						cRow[k] -= gradIn[k]
+					}
+				}
+			}
+		}
+		lr *= 0.7 // decay per epoch
+	}
+	return in
+}
+
+// DeepWalk is the end-to-end pipeline: uniform walks + skip-gram.
+func DeepWalk(g *graph.Graph, walksPerVertex, walkLen int, cfg SkipGramConfig) *tensor.Matrix {
+	walks := RandomWalks(g, walksPerVertex, walkLen, cfg.Seed+1)
+	return SkipGram(g.NumVertices(), walks, cfg)
+}
+
+// Node2Vec is the end-to-end biased-walk pipeline.
+func Node2Vec(g *graph.Graph, walksPerVertex, walkLen int, p, q float64, cfg SkipGramConfig) *tensor.Matrix {
+	walks := Node2VecWalks(g, walksPerVertex, walkLen, p, q, cfg.Seed+1)
+	return SkipGram(g.NumVertices(), walks, cfg)
+}
+
+// CosineSimilarity returns the cosine similarity between embedding rows.
+func CosineSimilarity(m *tensor.Matrix, a, b int) float64 {
+	ra, rb := m.Row(a), m.Row(b)
+	var dot, na, nb float64
+	for k := range ra {
+		dot += float64(ra[k]) * float64(rb[k])
+		na += float64(ra[k]) * float64(ra[k])
+		nb += float64(rb[k]) * float64(rb[k])
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"graphsys/internal/core"
+	"graphsys/internal/embed"
+	"graphsys/internal/gnn"
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/pregel"
+	"graphsys/internal/tensor"
+)
+
+func init() {
+	register("claim-tri", "§1 claim: MapReduce-style triangle counting loses to a serial merge counter", ClaimTriangle)
+	register("claim-tlav", "§1/§2 claim: TLAV iterative algorithms finish in O(log|V|)-scale rounds", ClaimTLAV)
+	register("claim-struct", "§1 claim (Stolman et al.): structural features beat embeddings for community labeling", ClaimStructVsEmbed)
+	register("claim-subgnn", "§1 claim: subgraph/structural signals exceed plain GNN expressiveness", ClaimSubgraphFeatures)
+}
+
+// ClaimTriangle reproduces the Chu & Cheng observation the paper opens with:
+// the MapReduce/TLAV triangle counter materialises every wedge as a message,
+// so a serial ordered-merge counter beats the "scalable" version outright.
+func ClaimTriangle() *Table {
+	t := &Table{ID: "claim-tri", Title: "Triangle counting: wedge-materialising MR/TLAV vs serial merge",
+		Header: []string{"graph", "triangles", "MR messages", "MR time", "serial time", "serial speedup"}}
+	for _, n := range []int{300, 600, 1200} {
+		g := gen.BarabasiAlbert(n, 10, int64(n))
+		var mrCount int64
+		var mrRes *pregel.Result[int64]
+		mrTime := timeIt(func() { mrCount, mrRes = pregel.TriangleCountMR(g, pregel.Config{Workers: 4}) })
+		var serialCount int64
+		serialTime := timeIt(func() { serialCount = graph.TriangleCount(g) })
+		if mrCount != serialCount {
+			panic("triangle counts disagree")
+		}
+		t.AddRow(fmt.Sprintf("BA n=%d m=%d", n, g.NumEdges()), serialCount,
+			mrRes.Net.Messages+mrRes.Net.LocalMessages, mrTime, serialTime,
+			fmt.Sprintf("%.1fx", float64(mrTime)/float64(serialTime)))
+	}
+	t.Note("the paper: 1636-machine MapReduce took 5.33 min where a serial external-memory counter took 0.5 min")
+	return t
+}
+
+// ClaimTLAV verifies the complexity envelope the paper assigns to TLAV
+// systems: HashMin connected components converges in rounds near the graph
+// diameter (≈ O(log|V|) for random graphs), with per-round work O(|V|+|E|).
+func ClaimTLAV() *Table {
+	t := &Table{ID: "claim-tlav", Title: "HashMin CC rounds vs log2|V| (ER graphs, avg degree 8)",
+		Header: []string{"|V|", "|E|", "rounds", "log2|V|", "msgs/round / (V+E)"}}
+	for _, n := range []int{500, 2000, 8000} {
+		g := gen.ErdosRenyi(n, int64(4*n), int64(n))
+		_, res := pregel.HashMinCC(g, pregel.Config{Workers: 4})
+		perRound := float64(res.Net.Messages+res.Net.LocalMessages) / float64(res.Supersteps)
+		t.AddRow(n, g.NumEdges(), res.Supersteps, fmt.Sprintf("%.1f", math.Log2(float64(n))),
+			fmt.Sprintf("%.2f", perRound/float64(int64(n)+g.NumEdges())))
+	}
+	t.Note("rounds grow like the diameter (log-scale), message work per round stays linear — the regime where TLAV shines")
+	return t
+}
+
+// structuredCommunities builds a community-labeling task where communities
+// differ in INTERNAL STRUCTURE (dense clustered vs lattice vs tree-like), as
+// real communities do — the setting of Stolman et al.'s study.
+func structuredCommunities(seed int64) (*graph.Graph, []int, []bool, []bool) {
+	const per = 120
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(3*per, false)
+	// community 0: dense clustered (ER p≈0.12)
+	for u := 0; u < per; u++ {
+		for v := u + 1; v < per; v++ {
+			if rng.Float64() < 0.12 {
+				b.AddEdge(graph.V(u), graph.V(v))
+			}
+		}
+	}
+	// community 1: ring lattice (high clustering, low degree)
+	for v := 0; v < per; v++ {
+		for j := 1; j <= 2; j++ {
+			b.AddEdge(graph.V(per+v), graph.V(per+(v+j)%per))
+		}
+	}
+	// community 2: random tree plus a few extra edges (low clustering)
+	for v := 1; v < per; v++ {
+		b.AddEdge(graph.V(2*per+v), graph.V(2*per+rng.Intn(v)))
+	}
+	// sparse inter-community noise
+	for i := 0; i < per/2; i++ {
+		b.AddEdge(graph.V(rng.Intn(per)), graph.V(per+rng.Intn(per)))
+		b.AddEdge(graph.V(per+rng.Intn(per)), graph.V(2*per+rng.Intn(per)))
+	}
+	g := b.Build()
+	labels := make([]int, 3*per)
+	train := make([]bool, 3*per)
+	test := make([]bool, 3*per)
+	for v := 0; v < 3*per; v++ {
+		labels[v] = v / per
+		if rng.Float64() < 0.4 {
+			train[v] = true
+		} else {
+			test[v] = true
+		}
+	}
+	return g, labels, train, test
+}
+
+// ClaimStructVsEmbed compares classic structural features against DeepWalk
+// embeddings for community labeling on structurally distinct communities.
+func ClaimStructVsEmbed() *Table {
+	t := &Table{ID: "claim-struct", Title: "Community labeling: structural features vs DeepWalk embeddings",
+		Header: []string{"feature set", "dims", "test accuracy"}}
+	g, labels, train, test := structuredCommunities(23)
+	p := core.NewPipeline(g, 4)
+
+	sf := p.StructuralFeatureMatrix()
+	clfS := p.TrainNodeClassifier(sf, labels, train, 1)
+	accS := clfS.Accuracy(sf, labels, test)
+	t.AddRow("structural (deg, logdeg, cc, core, tri)", sf.Cols, accS)
+
+	emb := embed.DeepWalk(g, 6, 20, embed.SkipGramConfig{Dim: 16, Epochs: 3, Seed: 2})
+	clfE := p.TrainNodeClassifier(emb, labels, train, 1)
+	accE := clfE.Accuracy(emb, labels, test)
+	t.AddRow("DeepWalk embeddings", emb.Cols, accE)
+
+	both := tensor.ConcatCols(sf, emb)
+	clfB := p.TrainNodeClassifier(both, labels, train, 1)
+	t.AddRow("both concatenated", both.Cols, clfB.Accuracy(both, labels, test))
+	t.Note("communities here differ in internal structure; classic features dominate, matching Stolman et al.")
+	return t
+}
+
+// ClaimSubgraphFeatures demonstrates the expressiveness argument for
+// subgraph-aware models: the label is a local-substructure property
+// (triangle membership), invisible to a plain message-passing GCN over
+// uninformative features but trivial once subgraph (triangle) counts are
+// added as features.
+func ClaimSubgraphFeatures() *Table {
+	t := &Table{ID: "claim-subgnn", Title: "Predicting triangle membership: plain GCN vs +subgraph features",
+		Header: []string{"model", "test accuracy"}}
+	// graph: triangle-rich region + triangle-free bipartite-ish region with
+	// comparable degrees
+	rng := rand.New(rand.NewSource(31))
+	const n = 300
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n/2), rng.Intn(n/2)
+		if u != v {
+			b.AddEdge(graph.V(u), graph.V(v)) // first half: random (has triangles)
+		}
+	}
+	for i := 0; i < 3*n; i++ { // second half: bipartite (no triangles)
+		u := n/2 + rng.Intn(n/4)
+		v := n/2 + n/4 + rng.Intn(n/4)
+		b.AddEdge(graph.V(u), graph.V(v))
+	}
+	g := b.Build()
+	tri := graph.LocalTriangles(g)
+	labels := make([]int, n)
+	for v := 0; v < n; v++ {
+		if tri[v] > 0 {
+			labels[v] = 1
+		}
+	}
+	train := make([]bool, n)
+	test := make([]bool, n)
+	for v := 0; v < n; v++ {
+		if rng.Float64() < 0.4 {
+			train[v] = true
+		} else {
+			test[v] = true
+		}
+	}
+	// uninformative base features (constant + noise)
+	base := tensor.New(n, 4)
+	for i := range base.Data {
+		base.Data[i] = rng.Float32()
+	}
+	task := &gnn.Task{G: g, X: base, Labels: labels, TrainMask: train, TestMask: test, NumClasses: 2}
+	p := core.NewPipeline(g, 4)
+	accPlain := p.TrainGNN(task, gnn.GCN, 16, 60, 3)
+	t.AddRow("plain GCN (noise features)", accPlain)
+
+	// augment with structural/subgraph features (triangle count, clustering)
+	aug := tensor.New(n, 6)
+	sf := graph.ComputeStructuralFeatures(g)
+	for v := 0; v < n; v++ {
+		copy(aug.Row(v)[:4], base.Row(v))
+		aug.Set(v, 4, float32(math.Log1p(sf.Triangles[v])))
+		aug.Set(v, 5, float32(sf.Clustering[v]))
+	}
+	task2 := &gnn.Task{G: g, X: aug, Labels: labels, TrainMask: train, TestMask: test, NumClasses: 2}
+	accAug := p.TrainGNN(task2, gnn.GCN, 16, 60, 3)
+	t.AddRow("GCN + subgraph (triangle) features", accAug)
+	t.Note("triangle membership is beyond 1-WL message passing; explicit subgraph features close the gap (Subgraph GNNs' motivation)")
+	return t
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// slow experiments are skipped under -short.
+var slow = map[string]bool{
+	"tab1-model": true, // BFS materialisation run takes seconds by design
+	"tab1-order": true, // the naive matching order is deliberately slow
+	"fig1":       true,
+}
+
+func TestAllExperimentsProduceTables(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && slow[e.ID] {
+				t.Skip("slow experiment skipped in -short mode")
+			}
+			table := e.Run()
+			if table == nil {
+				t.Fatal("nil table")
+			}
+			if table.ID != e.ID {
+				t.Fatalf("table id %q != experiment id %q", table.ID, e.ID)
+			}
+			if len(table.Header) == 0 || len(table.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			for i, r := range table.Rows {
+				if len(r) != len(table.Header) {
+					t.Fatalf("row %d has %d cells, header has %d", i, len(r), len(table.Header))
+				}
+			}
+			var sb strings.Builder
+			table.Fprint(&sb)
+			out := sb.String()
+			if !strings.Contains(out, e.ID) {
+				t.Fatal("rendered output missing experiment id")
+			}
+		})
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	if len(All()) < 25 {
+		t.Fatalf("only %d experiments registered", len(All()))
+	}
+	if _, ok := ByID("fig1"); !ok {
+		t.Fatal("fig1 missing")
+	}
+	if _, ok := ByID("no-such-experiment"); ok {
+		t.Fatal("phantom experiment found")
+	}
+	// ids are unique
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "x", Title: "t", Header: []string{"a", "bb"}}
+	tb.AddRow("1", 2.5)
+	tb.AddRow(int64(3), "four")
+	tb.Note("hello %d", 7)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"a", "bb", "2.500", "four", "hello 7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package fsm
+
+import (
+	"graphsys/internal/graph"
+	"graphsys/internal/match"
+)
+
+// ClosedPatterns filters a mined pattern set down to the CLOSED patterns —
+// those with no super-pattern of equal support (PrefixFPM's VLDBJ extension
+// mines "frequent and closed patterns"; closedness removes the exponential
+// redundancy of reporting every sub-pattern of a frequent structure).
+//
+// A pattern p is pruned iff some other mined pattern q has support(q) ==
+// support(p), strictly more edges, and contains p as a (label-preserving)
+// subgraph.
+func ClosedPatterns(patterns []Pattern) []Pattern {
+	graphs := make([]*graph.Graph, len(patterns))
+	for i, p := range patterns {
+		graphs[i] = p.Graph()
+	}
+	var out []Pattern
+	for i, p := range patterns {
+		closed := true
+		for j, q := range patterns {
+			if i == j || q.Support != p.Support {
+				continue
+			}
+			if len(q.Code) <= len(p.Code) {
+				continue
+			}
+			if containsPattern(graphs[j], graphs[i]) {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// MaximalPatterns filters to the maximal patterns — those with no frequent
+// super-pattern at all (regardless of support), the most compact summary.
+func MaximalPatterns(patterns []Pattern) []Pattern {
+	graphs := make([]*graph.Graph, len(patterns))
+	for i, p := range patterns {
+		graphs[i] = p.Graph()
+	}
+	var out []Pattern
+	for i, p := range patterns {
+		maximal := true
+		for j, q := range patterns {
+			if i == j || len(q.Code) <= len(p.Code) {
+				continue
+			}
+			if containsPattern(graphs[j], graphs[i]) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// containsPattern reports whether small occurs in big as a label-preserving
+// (non-induced) subgraph.
+func containsPattern(big, small *graph.Graph) bool {
+	found := false
+	match.Enumerate(big, match.OptimizedPlan(small), 1, func(m []graph.V) bool {
+		found = true
+		return false
+	}, nil)
+	return found
+}

@@ -1,0 +1,260 @@
+// Package fsm implements frequent subgraph pattern mining, the Table-1 row
+// the paper singles out as requiring pattern summarisation rather than
+// instance finding. Two system families are covered:
+//
+//   - Transactional FSM (gSpan / PrefixFPM): patterns are grown depth-first
+//     via canonical DFS codes with rightmost-path extension and prefix
+//     projection; support is the number of transactions containing the
+//     pattern. MineTransactions parallelises the root-pattern subtrees the
+//     way PrefixFPM parallelises prefix-projected databases.
+//
+//   - Single-graph FSM (GraMi / ScaleMine / T-FSM): support is the
+//     minimum-non-identical-image (MNI) measure, which is anti-monotone;
+//     support evaluation of each candidate pattern is an independent
+//     subgraph-matching task executed in parallel, T-FSM's core design.
+package fsm
+
+import (
+	"fmt"
+	"strings"
+
+	"graphsys/internal/graph"
+)
+
+// EdgeCode is one gSpan DFS-code tuple (i, j, lᵢ, lᵢⱼ, lⱼ): an edge between
+// discovery indices i and j. Forward edges have i < j (j is a new vertex),
+// backward edges i > j.
+type EdgeCode struct {
+	From, To          int
+	FromL, EdgeL, ToL int32
+}
+
+// Forward reports whether the tuple introduces a new vertex.
+func (e EdgeCode) Forward() bool { return e.From < e.To }
+
+// Less is gSpan's DFS lexicographic order on edge tuples.
+func (e EdgeCode) Less(o EdgeCode) bool {
+	ef, of := e.Forward(), o.Forward()
+	switch {
+	case ef && of:
+		if e.To != o.To {
+			return e.To < o.To
+		}
+		if e.From != o.From {
+			return e.From > o.From // deeper anchor first
+		}
+	case !ef && !of:
+		if e.From != o.From {
+			return e.From < o.From
+		}
+		if e.To != o.To {
+			return e.To < o.To
+		}
+	case ef && !of: // e forward, o backward
+		return o.From >= e.To
+	case !ef && of: // e backward, o forward
+		return e.From < o.To
+	}
+	// same (i, j): label order
+	if e.FromL != o.FromL {
+		return e.FromL < o.FromL
+	}
+	if e.EdgeL != o.EdgeL {
+		return e.EdgeL < o.EdgeL
+	}
+	return e.ToL < o.ToL
+}
+
+func (e EdgeCode) String() string {
+	return fmt.Sprintf("(%d,%d,%d,%d,%d)", e.From, e.To, e.FromL, e.EdgeL, e.ToL)
+}
+
+// DFSCode is a pattern encoded as a tuple sequence.
+type DFSCode []EdgeCode
+
+func (c DFSCode) String() string {
+	parts := make([]string, len(c))
+	for i, e := range c {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, "")
+}
+
+// NumVertices returns the number of pattern vertices the code describes.
+func (c DFSCode) NumVertices() int {
+	max := -1
+	for _, e := range c {
+		if e.From > max {
+			max = e.From
+		}
+		if e.To > max {
+			max = e.To
+		}
+	}
+	return max + 1
+}
+
+// Graph materialises the pattern graph (vertex ids = discovery indices).
+func (c DFSCode) Graph() *graph.Graph {
+	n := c.NumVertices()
+	b := graph.NewBuilder(n, false)
+	for _, e := range c {
+		b.SetLabel(graph.V(e.From), e.FromL)
+		b.SetLabel(graph.V(e.To), e.ToL)
+		b.AddLabeledEdge(graph.V(e.From), graph.V(e.To), e.EdgeL)
+	}
+	return b.Build()
+}
+
+// RightmostPath returns the dfs indices on the rightmost path, from the
+// rightmost vertex back to the root (index 0).
+func (c DFSCode) RightmostPath() []int {
+	if len(c) == 0 {
+		return nil
+	}
+	// rightmost vertex: target of the last forward edge
+	var path []int
+	cur := -1
+	for i := len(c) - 1; i >= 0; i-- {
+		if c[i].Forward() && (cur == -1 || c[i].To == cur) {
+			path = append(path, c[i].To)
+			cur = c[i].From
+		}
+	}
+	path = append(path, 0)
+	return path
+}
+
+// IsMin reports whether c is its pattern's minimum DFS code (gSpan's
+// canonicality test). It rebuilds the minimum code of c.Graph() step by step
+// with projection tracking and compares each tuple.
+func (c DFSCode) IsMin() bool {
+	if len(c) == 0 {
+		return true
+	}
+	g := c.Graph()
+	// step 0: the minimal first tuple over all edges, both orientations
+	var first *EdgeCode
+	var projs []*pmEmbedding
+	for u := graph.V(0); int(u) < g.NumVertices(); u++ {
+		for i, v := range g.Neighbors(u) {
+			t := EdgeCode{0, 1, g.Label(u), g.EdgeLabelAt(u, i), g.Label(v)}
+			if first == nil || t.Less(*first) {
+				first = &t
+				projs = projs[:0]
+			}
+			if t == *first {
+				projs = append(projs, &pmEmbedding{
+					vertices: []graph.V{u, v},
+					edges:    map[int64]bool{ekey(u, v): true},
+				})
+			}
+		}
+	}
+	if first == nil {
+		return false
+	}
+	if first.Less(c[0]) {
+		return false
+	}
+	if c[0].Less(*first) {
+		return false // c's first tuple is below the true minimum: malformed
+	}
+	minCode := DFSCode{*first}
+	for step := 1; step < len(c); step++ {
+		tuple, next := minExtension(g, minCode, projs)
+		if tuple == nil {
+			return false
+		}
+		if tuple.Less(c[step]) {
+			return false
+		}
+		if c[step].Less(*tuple) {
+			return false
+		}
+		minCode = append(minCode, *tuple)
+		projs = next
+	}
+	return true
+}
+
+// pmEmbedding maps dfs indices to pattern-graph vertices during min-code
+// construction.
+type pmEmbedding struct {
+	vertices []graph.V
+	edges    map[int64]bool
+}
+
+func (p *pmEmbedding) clone() *pmEmbedding {
+	e := &pmEmbedding{
+		vertices: append([]graph.V(nil), p.vertices...),
+		edges:    make(map[int64]bool, len(p.edges)+1),
+	}
+	for k := range p.edges {
+		e.edges[k] = true
+	}
+	return e
+}
+
+func (p *pmEmbedding) contains(v graph.V) bool {
+	for _, x := range p.vertices {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func ekey(u, v graph.V) int64 {
+	if u > v {
+		u, v = v, u
+	}
+	return int64(u)<<32 | int64(v)
+}
+
+// minExtension finds the minimal rightmost-path extension tuple over all
+// projections and returns it along with the extended projections.
+func minExtension(g *graph.Graph, code DFSCode, projs []*pmEmbedding) (*EdgeCode, []*pmEmbedding) {
+	rmpath := code.RightmostPath()
+	maxIdx := code.NumVertices() - 1
+	var best *EdgeCode
+	var next []*pmEmbedding
+	consider := func(t EdgeCode, e *pmEmbedding, newV graph.V, newEdge int64) {
+		if best == nil || t.Less(*best) {
+			best = &t
+			next = next[:0]
+		}
+		if t == *best {
+			c := e.clone()
+			if t.Forward() {
+				c.vertices = append(c.vertices, newV)
+			}
+			c.edges[newEdge] = true
+			next = append(next, c)
+		}
+	}
+	for _, e := range projs {
+		rmv := e.vertices[rmpath[0]]
+		// backward extensions: rightmost vertex → rmpath vertices
+		for _, j := range rmpath[1:] {
+			tv := e.vertices[j]
+			if !g.HasEdge(rmv, tv) || e.edges[ekey(rmv, tv)] {
+				continue
+			}
+			t := EdgeCode{rmpath[0], j, g.Label(rmv), g.EdgeLabel(rmv, tv), g.Label(tv)}
+			consider(t, e, -1, ekey(rmv, tv))
+		}
+		// forward extensions: from every rmpath vertex (incl. rightmost)
+		for _, i := range rmpath {
+			fv := e.vertices[i]
+			for k, u := range g.Neighbors(fv) {
+				if e.contains(u) {
+					continue
+				}
+				t := EdgeCode{i, maxIdx + 1, g.Label(fv), g.EdgeLabelAt(fv, k), g.Label(u)}
+				consider(t, e, u, ekey(fv, u))
+			}
+		}
+	}
+	return best, next
+}

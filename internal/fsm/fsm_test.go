@@ -1,0 +1,397 @@
+package fsm
+
+import (
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/mining"
+)
+
+// uniform returns a graph with all vertex labels = 1 and edge labels = 0.
+func uniform(n int, edges [][2]graph.V) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for v := 0; v < n; v++ {
+		b.SetLabel(graph.V(v), 1)
+	}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+func TestEdgeCodeOrder(t *testing.T) {
+	fwd12 := EdgeCode{1, 2, 1, 0, 1}
+	fwd02 := EdgeCode{0, 2, 1, 0, 1}
+	back20 := EdgeCode{2, 0, 1, 0, 1}
+	fwd23 := EdgeCode{2, 3, 1, 0, 1}
+	// deeper-anchored forward edge is smaller
+	if !fwd12.Less(fwd02) {
+		t.Fatal("(1,2) should precede (0,2)")
+	}
+	// among extensions of the same rightmost vertex, backward precedes forward
+	if !back20.Less(fwd23) {
+		t.Fatal("(2,0) should precede (2,3)")
+	}
+	// gSpan rule: backward (i1,·) vs forward (·,j2): backward first iff i1 < j2
+	if back20.Less(fwd12) {
+		t.Fatal("(2,0) must NOT precede (1,2) (i1=2 is not < j2=2)")
+	}
+	// label tiebreak
+	a := EdgeCode{0, 1, 1, 0, 1}
+	b := EdgeCode{0, 1, 1, 0, 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("label ordering broken")
+	}
+}
+
+func TestRightmostPath(t *testing.T) {
+	tri := DFSCode{{0, 1, 1, 0, 1}, {1, 2, 1, 0, 1}, {2, 0, 1, 0, 1}}
+	got := tri.RightmostPath()
+	want := []int{2, 1, 0}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("triangle rmpath = %v", got)
+	}
+	star := DFSCode{{0, 1, 1, 0, 1}, {0, 2, 1, 0, 1}}
+	got = star.RightmostPath()
+	if len(got) != 2 || got[0] != 2 || got[1] != 0 {
+		t.Fatalf("star rmpath = %v", got)
+	}
+}
+
+func TestIsMin(t *testing.T) {
+	// canonical triangle code
+	tri := DFSCode{{0, 1, 1, 0, 1}, {1, 2, 1, 0, 1}, {2, 0, 1, 0, 1}}
+	if !tri.IsMin() {
+		t.Fatal("canonical triangle code rejected")
+	}
+	// non-canonical triangle encoding
+	bad := DFSCode{{0, 1, 1, 0, 1}, {0, 2, 1, 0, 1}, {1, 2, 1, 0, 1}}
+	if bad.IsMin() {
+		t.Fatal("non-canonical triangle code accepted")
+	}
+	// single edge with la <= lb is min; reversed is not
+	if !(DFSCode{{0, 1, 1, 0, 2}}).IsMin() {
+		t.Fatal("edge (1,2) labels rejected")
+	}
+	if (DFSCode{{0, 1, 2, 0, 1}}).IsMin() {
+		t.Fatal("edge with larger FromL accepted")
+	}
+	// wedge: canonical is (0,1)(1,2) not (0,1)(0,2)
+	if !(DFSCode{{0, 1, 1, 0, 1}, {1, 2, 1, 0, 1}}).IsMin() {
+		t.Fatal("canonical wedge rejected")
+	}
+	if (DFSCode{{0, 1, 1, 0, 1}, {0, 2, 1, 0, 1}}).IsMin() {
+		t.Fatal("star-coded wedge accepted (path code is smaller)")
+	}
+}
+
+func TestCodeGraphRoundTrip(t *testing.T) {
+	tri := DFSCode{{0, 1, 5, 7, 6}, {1, 2, 6, 8, 9}, {2, 0, 9, 7, 5}}
+	g := tri.Graph()
+	if g.NumVertices() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("triangle graph: n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.Label(0) != 5 || g.Label(1) != 6 || g.Label(2) != 9 {
+		t.Fatal("labels lost")
+	}
+	if g.EdgeLabel(1, 2) != 8 {
+		t.Fatal("edge label lost")
+	}
+}
+
+func TestMineTransactionsTriangle(t *testing.T) {
+	db := &graph.TransactionDB{}
+	db.Add(uniform(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}}), 0)
+	pats := MineTransactions(db, MineConfig{MinSupport: 1})
+	// expected connected subgraph patterns: edge, wedge, triangle
+	if len(pats) != 3 {
+		for _, p := range pats {
+			t.Logf("pattern %v support %d", p.Code, p.Support)
+		}
+		t.Fatalf("triangle db mined %d patterns, want 3", len(pats))
+	}
+	for _, p := range pats {
+		if p.Support != 1 {
+			t.Fatalf("support %d", p.Support)
+		}
+	}
+}
+
+func TestMineTransactionsSupportCounting(t *testing.T) {
+	db := &graph.TransactionDB{}
+	// two triangles, one wedge-only transaction
+	db.Add(uniform(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}}), 0)
+	db.Add(uniform(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}}), 0)
+	db.Add(uniform(3, [][2]graph.V{{0, 1}, {1, 2}}), 0)
+	pats := MineTransactions(db, MineConfig{MinSupport: 2})
+	byEdges := map[int]int{}
+	for _, p := range pats {
+		byEdges[len(p.Code)] = p.Support
+	}
+	if byEdges[1] != 3 { // single edge in all 3
+		t.Fatalf("edge support = %d", byEdges[1])
+	}
+	if byEdges[2] != 3 { // wedge in all 3
+		t.Fatalf("wedge support = %d", byEdges[2])
+	}
+	if byEdges[3] != 2 { // triangle in 2
+		t.Fatalf("triangle support = %d", byEdges[3])
+	}
+	// with minSup=3 the triangle disappears
+	pats = MineTransactions(db, MineConfig{MinSupport: 3})
+	for _, p := range pats {
+		if len(p.Code) == 3 {
+			t.Fatal("triangle should be infrequent at minSup=3")
+		}
+	}
+}
+
+// bruteFrequent enumerates every connected edge-subset pattern of every
+// transaction, canonicalises with mining.CanonicalCode (vertex labels +
+// topology; edge labels must be uniform), and counts transaction support.
+func bruteFrequent(db *graph.TransactionDB, minSup, maxEdges int) map[string]int {
+	perTxn := make([]map[string]bool, db.Len())
+	for gid, g := range db.Graphs {
+		perTxn[gid] = map[string]bool{}
+		var edges [][2]graph.V
+		g.EdgesOnce(func(u, v graph.V) { edges = append(edges, [2]graph.V{u, v}) })
+		for mask := 1; mask < 1<<len(edges); mask++ {
+			var sel [][2]graph.V
+			for i := range edges {
+				if mask&(1<<i) != 0 {
+					sel = append(sel, edges[i])
+				}
+			}
+			if len(sel) > maxEdges {
+				continue
+			}
+			// build the pattern graph over the touched vertices
+			ids := map[graph.V]graph.V{}
+			for _, e := range sel {
+				for _, v := range []graph.V{e[0], e[1]} {
+					if _, ok := ids[v]; !ok {
+						ids[v] = graph.V(len(ids))
+					}
+				}
+			}
+			b := graph.NewBuilder(len(ids), false)
+			for old, nw := range ids {
+				b.SetLabel(nw, g.Label(old))
+			}
+			for _, e := range sel {
+				b.AddEdge(ids[e[0]], ids[e[1]])
+			}
+			pg := b.Build()
+			// connected?
+			_, comps := graph.ConnectedComponents(pg)
+			if comps != 1 {
+				continue
+			}
+			vs := make([]graph.V, pg.NumVertices())
+			for i := range vs {
+				vs[i] = graph.V(i)
+			}
+			perTxn[gid][mining.CanonicalCode(pg, vs)] = true
+		}
+	}
+	counts := map[string]int{}
+	for _, m := range perTxn {
+		for code := range m {
+			counts[code]++
+		}
+	}
+	for code, c := range counts {
+		if c < minSup {
+			delete(counts, code)
+		}
+	}
+	return counts
+}
+
+func TestMineTransactionsMatchesBruteForce(t *testing.T) {
+	db := gen.MoleculeDB(8, 4, 2, 0.8, 17)
+	// strip edge labels for the brute-force comparison
+	clean := &graph.TransactionDB{}
+	for i, g := range db.Graphs {
+		b := graph.NewBuilder(g.NumVertices(), false)
+		for v := graph.V(0); int(v) < g.NumVertices(); v++ {
+			b.SetLabel(v, g.Label(v))
+		}
+		g.EdgesOnce(func(u, v graph.V) { b.AddEdge(u, v) })
+		clean.Add(b.Build(), db.Class[i])
+	}
+	const maxEdges = 3
+	for _, minSup := range []int{3, 5} {
+		want := bruteFrequent(clean, minSup, maxEdges)
+		pats := MineTransactions(clean, MineConfig{MinSupport: minSup, MaxEdges: maxEdges})
+		got := map[string]int{}
+		for _, p := range pats {
+			pg := p.Graph()
+			vs := make([]graph.V, pg.NumVertices())
+			for i := range vs {
+				vs[i] = graph.V(i)
+			}
+			code := mining.CanonicalCode(pg, vs)
+			if prev, dup := got[code]; dup {
+				t.Fatalf("duplicate pattern mined: %v (support %d and %d)", p.Code, prev, p.Support)
+			}
+			got[code] = p.Support
+		}
+		if len(got) != len(want) {
+			t.Fatalf("minSup=%d: mined %d patterns, brute force %d", minSup, len(got), len(want))
+		}
+		for code, sup := range want {
+			if got[code] != sup {
+				t.Fatalf("minSup=%d: support mismatch: got %d want %d", minSup, got[code], sup)
+			}
+		}
+	}
+}
+
+func TestMNI(t *testing.T) {
+	// two embeddings sharing vertex images on index 0
+	projs := []*embedding{
+		{vertices: []graph.V{0, 1}},
+		{vertices: []graph.V{0, 2}},
+	}
+	if MNI(2, projs) != 1 {
+		t.Fatalf("MNI = %d want 1 (vertex 0 pinned)", MNI(2, projs))
+	}
+	projs = append(projs, &embedding{vertices: []graph.V{3, 4}})
+	if MNI(2, projs) != 2 {
+		t.Fatalf("MNI = %d want 2", MNI(2, projs))
+	}
+	if MNI(2, nil) != 0 {
+		t.Fatal("empty MNI")
+	}
+}
+
+func TestMineSingleGraphDisjointTriangles(t *testing.T) {
+	// two disjoint uniform triangles: edge/wedge/triangle all have MNI 6
+	g := uniform(6, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}})
+	pats := MineSingleGraph(g, MineConfig{MinSupport: 6})
+	if len(pats) != 3 {
+		for _, p := range pats {
+			t.Logf("%v sup=%d", p.Code, p.Support)
+		}
+		t.Fatalf("mined %d patterns, want 3", len(pats))
+	}
+	for _, p := range pats {
+		if p.Support != 6 {
+			t.Fatalf("pattern %v MNI=%d want 6", p.Code, p.Support)
+		}
+	}
+	if pats2 := MineSingleGraph(g, MineConfig{MinSupport: 7}); len(pats2) != 0 {
+		t.Fatalf("minSup=7 should yield nothing, got %d", len(pats2))
+	}
+}
+
+func TestMineSingleGraphLabeled(t *testing.T) {
+	// path A-B-A-B-A: edge (A,B) has MNI min(|{A images}|, |{B images}|)
+	b := graph.NewBuilder(5, false)
+	labels := []int32{1, 2, 1, 2, 1}
+	for v, l := range labels {
+		b.SetLabel(graph.V(v), l)
+	}
+	for v := 0; v < 4; v++ {
+		b.AddEdge(graph.V(v), graph.V(v+1))
+	}
+	g := b.Build()
+	pats := MineSingleGraph(g, MineConfig{MinSupport: 2, MaxEdges: 1})
+	if len(pats) != 1 {
+		t.Fatalf("mined %d 1-edge patterns", len(pats))
+	}
+	if pats[0].Support != 2 { // 3 A-images, 2 B-images → MNI 2
+		t.Fatalf("A-B support = %d want 2", pats[0].Support)
+	}
+}
+
+func TestMineSingleGraphSerialMatchesParallel(t *testing.T) {
+	g := gen.WithRandomLabels(gen.ErdosRenyi(40, 80, 3), 2, 5)
+	// relabel edges to 0 by rebuilding (WithRandomLabels keeps edges unlabeled)
+	a := MineSingleGraph(g, MineConfig{MinSupport: 8, MaxEdges: 3, Workers: 8})
+	b := MineSingleGraphSerial(g, MineConfig{MinSupport: 8, MaxEdges: 3})
+	if len(a) != len(b) {
+		t.Fatalf("parallel %d vs serial %d patterns", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Code.String() != b[i].Code.String() || a[i].Support != b[i].Support {
+			t.Fatalf("pattern %d differs", i)
+		}
+	}
+}
+
+func TestMaxEdgesLimit(t *testing.T) {
+	db := &graph.TransactionDB{}
+	db.Add(uniform(4, [][2]graph.V{{0, 1}, {1, 2}, {2, 3}, {3, 0}}), 0)
+	pats := MineTransactions(db, MineConfig{MinSupport: 1, MaxEdges: 2})
+	for _, p := range pats {
+		if len(p.Code) > 2 {
+			t.Fatalf("pattern with %d edges escaped MaxEdges=2", len(p.Code))
+		}
+	}
+}
+
+func TestClosedPatterns(t *testing.T) {
+	// db of identical triangles: edge ⊂ wedge ⊂ triangle all with support 3,
+	// so only the triangle is closed
+	db := &graph.TransactionDB{}
+	for i := 0; i < 3; i++ {
+		db.Add(uniform(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}}), 0)
+	}
+	pats := MineTransactions(db, MineConfig{MinSupport: 3})
+	if len(pats) != 3 {
+		t.Fatalf("mined %d patterns", len(pats))
+	}
+	closed := ClosedPatterns(pats)
+	if len(closed) != 1 || len(closed[0].Code) != 3 {
+		t.Fatalf("closed = %d patterns (want just the triangle)", len(closed))
+	}
+	// maximal coincides here
+	maximal := MaximalPatterns(pats)
+	if len(maximal) != 1 || len(maximal[0].Code) != 3 {
+		t.Fatalf("maximal = %d patterns", len(maximal))
+	}
+}
+
+func TestClosedKeepsDifferentSupportLevels(t *testing.T) {
+	// two triangle transactions + one extra edge-only transaction:
+	// edge support 3, wedge/triangle support 2 → closed = {edge, triangle}
+	db := &graph.TransactionDB{}
+	db.Add(uniform(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}}), 0)
+	db.Add(uniform(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}}), 0)
+	db.Add(uniform(2, [][2]graph.V{{0, 1}}), 0)
+	pats := MineTransactions(db, MineConfig{MinSupport: 2})
+	closed := ClosedPatterns(pats)
+	if len(closed) != 2 {
+		for _, p := range closed {
+			t.Logf("closed: %v sup=%d", p.Code, p.Support)
+		}
+		t.Fatalf("closed = %d patterns, want 2 (edge@3, triangle@2)", len(closed))
+	}
+	// maximal keeps only the triangle (edge has a frequent super-pattern)
+	maximal := MaximalPatterns(pats)
+	if len(maximal) != 1 || len(maximal[0].Code) != 3 {
+		t.Fatalf("maximal = %d patterns", len(maximal))
+	}
+}
+
+func TestClosedOnLabeledPatterns(t *testing.T) {
+	db := gen.MoleculeDB(30, 6, 3, 0.9, 77)
+	pats := MineTransactions(db, MineConfig{MinSupport: 8, MaxEdges: 3})
+	closed := ClosedPatterns(pats)
+	if len(closed) == 0 || len(closed) > len(pats) {
+		t.Fatalf("closed %d of %d", len(closed), len(pats))
+	}
+	// every closed pattern is in the original set
+	codes := map[string]bool{}
+	for _, p := range pats {
+		codes[p.Code.String()] = true
+	}
+	for _, p := range closed {
+		if !codes[p.Code.String()] {
+			t.Fatal("closed pattern not from the mined set")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package fsm
+
+import (
+	"sort"
+	"sync"
+
+	"graphsys/internal/graph"
+)
+
+// MNI computes the minimum-non-identical-image support of a pattern given
+// all its embeddings: for each pattern vertex, count the distinct data
+// vertices it maps to across embeddings; MNI is the minimum of those counts.
+// MNI is anti-monotone (GraMi, PVLDB'14), which makes single-graph FSM
+// prunable.
+func MNI(numVertices int, projs []*embedding) int {
+	if len(projs) == 0 {
+		return 0
+	}
+	images := make([]map[graph.V]bool, numVertices)
+	for i := range images {
+		images[i] = map[graph.V]bool{}
+	}
+	for _, e := range projs {
+		for i, v := range e.vertices {
+			images[i][v] = true
+		}
+	}
+	min := len(projs) + 1<<30
+	for _, img := range images {
+		if len(img) < min {
+			min = len(img)
+		}
+	}
+	return min
+}
+
+// MineSingleGraph mines frequent patterns of a single big labeled graph with
+// MNI support ≥ cfg.MinSupport, in the style of GraMi/T-FSM: patterns grow by
+// canonical DFS-code extension exactly as in transactional gSpan, but support
+// of each candidate is an independent evaluation task — T-FSM decomposes
+// support evaluation into subgraph-matching tasks executed in parallel, which
+// is what the per-extension worker pool below does.
+func MineSingleGraph(g *graph.Graph, cfg MineConfig) []Pattern {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = 1
+	}
+	db := &graph.TransactionDB{Graphs: []*graph.Graph{g}}
+	roots := map[EdgeCode][]*embedding{}
+	for u := graph.V(0); int(u) < g.NumVertices(); u++ {
+		for i, v := range g.Neighbors(u) {
+			t := EdgeCode{0, 1, g.Label(u), g.EdgeLabelAt(u, i), g.Label(v)}
+			if t.FromL > t.ToL {
+				continue
+			}
+			roots[t] = append(roots[t], &embedding{
+				gid:      0,
+				vertices: []graph.V{u, v},
+				edges:    map[int64]bool{ekey(u, v): true},
+			})
+		}
+	}
+	type task struct {
+		code  DFSCode
+		projs []*embedding
+	}
+	var frontier []task
+	var out []Pattern
+	for t, projs := range roots {
+		if MNI(2, projs) >= cfg.MinSupport {
+			frontier = append(frontier, task{DFSCode{t}, projs})
+		}
+	}
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i].code[0].Less(frontier[j].code[0]) })
+
+	// level-wise growth with parallel support evaluation per extension
+	for len(frontier) > 0 {
+		for _, t := range frontier {
+			out = append(out, Pattern{Code: t.code, Support: MNI(t.code.NumVertices(), t.projs)})
+		}
+		var candidates []task
+		var mu sync.Mutex
+		sem := make(chan struct{}, cfg.Workers)
+		var wg sync.WaitGroup
+		for _, t := range frontier {
+			if cfg.MaxEdges > 0 && len(t.code) >= cfg.MaxEdges {
+				continue
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(t task) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				ext := gatherExtensions(db, t.code, t.projs)
+				var local []task
+				for tuple, projs := range ext {
+					child := append(append(DFSCode(nil), t.code...), tuple)
+					if MNI(child.NumVertices(), projs) < cfg.MinSupport {
+						continue
+					}
+					if !child.IsMin() {
+						continue
+					}
+					local = append(local, task{child, projs})
+				}
+				mu.Lock()
+				candidates = append(candidates, local...)
+				mu.Unlock()
+			}(t)
+		}
+		wg.Wait()
+		sort.Slice(candidates, func(i, j int) bool {
+			return candidates[i].code.String() < candidates[j].code.String()
+		})
+		frontier = candidates
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code.String() < out[j].Code.String() })
+	return out
+}
+
+// MineSingleGraphSerial is the single-threaded baseline (ScaleMine's master
+// estimation phase / GraMi without task parallelism) used by the Table-1 FSM
+// benchmark to show the task-parallel speedup.
+func MineSingleGraphSerial(g *graph.Graph, cfg MineConfig) []Pattern {
+	cfg.Workers = 1
+	return MineSingleGraph(g, cfg)
+}

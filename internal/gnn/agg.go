@@ -1,0 +1,123 @@
+// Package gnn implements graph neural network models (GCN, GraphSAGE, GAT)
+// with exact manual backpropagation, plus the training regimes the paper's
+// Section 3 contrasts: full-graph training, neighborhood-sampled minibatch
+// training (Euler/AliGraph/DistDGL-style), and AGL-style k-hop subgraph
+// materialisation. Each graph-convolution layer follows the two-stage
+// structure the paper describes — Graph Data Retrieving (neighbor feature
+// aggregation) followed by Model Computation.
+package gnn
+
+import (
+	"math"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/tensor"
+)
+
+// NormAdj is the symmetric-normalised adjacency with self-loops used by GCN:
+// Â = D̃^(-1/2) (A+I) D̃^(-1/2), stored sparsely. Â is symmetric, so it is its
+// own transpose in the backward pass.
+type NormAdj struct {
+	n       int
+	nbrs    [][]graph.V
+	weights [][]float32
+}
+
+// NewNormAdj precomputes Â for g.
+func NewNormAdj(g *graph.Graph) *NormAdj {
+	n := g.NumVertices()
+	a := &NormAdj{n: n, nbrs: make([][]graph.V, n), weights: make([][]float32, n)}
+	invSqrt := make([]float64, n)
+	for v := 0; v < n; v++ {
+		invSqrt[v] = 1 / math.Sqrt(float64(g.Degree(graph.V(v))+1))
+	}
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(graph.V(v))
+		a.nbrs[v] = append(append([]graph.V(nil), ns...), graph.V(v)) // self-loop
+		w := make([]float32, len(ns)+1)
+		for i, u := range ns {
+			w[i] = float32(invSqrt[v] * invSqrt[u])
+		}
+		w[len(ns)] = float32(invSqrt[v] * invSqrt[v])
+		a.weights[v] = w
+	}
+	return a
+}
+
+// NeighborsOf exposes row v's column indices (neighbors plus self-loop),
+// for external chunked executors (internal/gnndist's HongTu offloading).
+func (a *NormAdj) NeighborsOf(v int) []graph.V { return a.nbrs[v] }
+
+// WeightsOf exposes row v's normalised weights, aligned with NeighborsOf.
+func (a *NormAdj) WeightsOf(v int) []float32 { return a.weights[v] }
+
+// Apply computes Â·H.
+func (a *NormAdj) Apply(h *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(a.n, h.Cols)
+	for v := 0; v < a.n; v++ {
+		or := out.Row(v)
+		for i, u := range a.nbrs[v] {
+			w := a.weights[v][i]
+			hr := h.Row(int(u))
+			for j := range or {
+				or[j] += w * hr[j]
+			}
+		}
+	}
+	return out
+}
+
+// MeanAgg is GraphSAGE's mean aggregator over (open) neighborhoods.
+type MeanAgg struct {
+	g *graph.Graph
+}
+
+// NewMeanAgg wraps g.
+func NewMeanAgg(g *graph.Graph) *MeanAgg { return &MeanAgg{g: g} }
+
+// Apply computes row v = mean of h over N(v) (zeros for isolated vertices).
+func (m *MeanAgg) Apply(h *tensor.Matrix) *tensor.Matrix {
+	n := m.g.NumVertices()
+	out := tensor.New(n, h.Cols)
+	for v := 0; v < n; v++ {
+		ns := m.g.Neighbors(graph.V(v))
+		if len(ns) == 0 {
+			continue
+		}
+		or := out.Row(v)
+		for _, u := range ns {
+			hr := h.Row(int(u))
+			for j := range or {
+				or[j] += hr[j]
+			}
+		}
+		inv := 1 / float32(len(ns))
+		for j := range or {
+			or[j] *= inv
+		}
+	}
+	return out
+}
+
+// ApplyT computes the transpose action (scatter of the backward pass):
+// out_u = Σ_{v : u∈N(v)} dy_v / |N(v)|. For undirected graphs this equals
+// Σ_{v∈N(u)} dy_v / |N(v)|.
+func (m *MeanAgg) ApplyT(dy *tensor.Matrix) *tensor.Matrix {
+	n := m.g.NumVertices()
+	out := tensor.New(n, dy.Cols)
+	for v := 0; v < n; v++ {
+		ns := m.g.Neighbors(graph.V(v))
+		if len(ns) == 0 {
+			continue
+		}
+		inv := 1 / float32(len(ns))
+		dr := dy.Row(v)
+		for _, u := range ns {
+			or := out.Row(int(u))
+			for j := range dr {
+				or[j] += inv * dr[j]
+			}
+		}
+	}
+	return out
+}

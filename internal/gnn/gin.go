@@ -1,0 +1,74 @@
+package gnn
+
+import (
+	"graphsys/internal/graph"
+	"graphsys/internal/nn"
+	"graphsys/internal/tensor"
+)
+
+// SumAgg is sum aggregation over open neighborhoods. For undirected graphs
+// the operator is symmetric, so it is its own adjoint.
+type SumAgg struct {
+	g *graph.Graph
+}
+
+// NewSumAgg wraps g.
+func NewSumAgg(g *graph.Graph) *SumAgg { return &SumAgg{g: g} }
+
+// Apply computes row v = Σ_{u∈N(v)} h_u.
+func (s *SumAgg) Apply(h *tensor.Matrix) *tensor.Matrix {
+	n := s.g.NumVertices()
+	out := tensor.New(n, h.Cols)
+	for v := 0; v < n; v++ {
+		or := out.Row(v)
+		for _, u := range s.g.Neighbors(graph.V(v)) {
+			hr := h.Row(int(u))
+			for j := range or {
+				or[j] += hr[j]
+			}
+		}
+	}
+	return out
+}
+
+// GINLayer is the Graph Isomorphism Network layer (Xu et al.), the
+// maximally-expressive 1-WL aggregator: h'_v = σ(W·((1+ε)h_v + Σ_{u∈N(v)}
+// h_u) + b), with ε fixed to 0 (GIN-0). Sum aggregation distinguishes
+// multisets that mean/max aggregators collapse, which is why GIN is the
+// standard whole-graph classification backbone.
+type GINLayer struct {
+	agg  *SumAgg
+	lin  *nn.Dense
+	act  *nn.ReLU
+	last bool
+}
+
+// NewGINLayer builds a GIN-0 layer over g.
+func NewGINLayer(g *graph.Graph, in, out int, last bool, seed int64) *GINLayer {
+	return &GINLayer{agg: NewSumAgg(g), lin: nn.NewDense(in, out, seed), act: &nn.ReLU{}, last: last}
+}
+
+// Forward computes σ(W·(h + A·h) + b).
+func (l *GINLayer) Forward(h *tensor.Matrix) *tensor.Matrix {
+	z := l.agg.Apply(h)
+	z.AddInPlace(h) // (1+ε)h with ε=0
+	out := l.lin.Forward(z)
+	if l.last {
+		return out
+	}
+	return l.act.Forward(out)
+}
+
+// Backward propagates dH = dZ + AᵀdZ (A symmetric for undirected graphs).
+func (l *GINLayer) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if !l.last {
+		dy = l.act.Backward(dy)
+	}
+	dz := l.lin.Backward(dy)
+	dh := l.agg.Apply(dz)
+	dh.AddInPlace(dz)
+	return dh
+}
+
+// Params returns the layer parameters.
+func (l *GINLayer) Params() []*nn.Param { return l.lin.Params() }

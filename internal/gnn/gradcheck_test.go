@@ -1,0 +1,168 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/nn"
+	"graphsys/internal/tensor"
+)
+
+// gradCheck compares the analytic gradient of the mean cross-entropy loss
+// w.r.t. every parameter entry (and the input) against central differences.
+func gradCheck(t *testing.T, g *graph.Graph, kind ModelKind) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	n := g.NumVertices()
+	const inDim, hidden, classes = 3, 4, 2
+	x := tensor.New(n, inDim)
+	for i := range x.Data {
+		x.Data[i] = rng.Float32()*2 - 1
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(classes)
+	}
+	model := NewModel(g, kind, []int{inDim, hidden, classes}, 3)
+
+	loss := func() float64 {
+		l, _ := nn.SoftmaxCrossEntropy(model.Forward(x), labels)
+		return l
+	}
+	// analytic gradients
+	_, dLogits := nn.SoftmaxCrossEntropy(model.Forward(x), labels)
+	dX := model.Backward(dLogits)
+
+	check := func(name string, ptr *float32, analytic float32) {
+		const eps = 1e-2
+		orig := *ptr
+		*ptr = orig + eps
+		lp := loss()
+		*ptr = orig - eps
+		lm := loss()
+		*ptr = orig
+		numeric := (lp - lm) / (2 * eps)
+		// float32 forward + finite differences: entries this small are
+		// dominated by rounding noise (and ReLU kinks), skip them
+		if math.Abs(numeric) < 5e-3 && math.Abs(float64(analytic)) < 5e-3 {
+			return
+		}
+		denom := math.Abs(numeric) + math.Abs(float64(analytic))
+		if math.Abs(numeric-float64(analytic))/denom > 0.12 {
+			t.Errorf("%s %s: analytic %g numeric %g", kind, name, analytic, numeric)
+		}
+	}
+	for pi, p := range model.Params() {
+		stride := len(p.W.Data)/5 + 1
+		for i := 0; i < len(p.W.Data); i += stride {
+			check("param", &p.W.Data[i], p.Grad.Data[i])
+		}
+		_ = pi
+	}
+	// input gradient (spot check): perturb x entries
+	for i := 0; i < len(x.Data); i += len(x.Data)/6 + 1 {
+		const eps = 1e-2
+		orig := x.Data[i]
+		x.Data[i] = orig + eps
+		lp := loss()
+		x.Data[i] = orig - eps
+		lm := loss()
+		x.Data[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(dX.Data[i])
+		if math.Abs(numeric) < 5e-3 && math.Abs(analytic) < 5e-3 {
+			continue
+		}
+		denom := math.Abs(numeric) + math.Abs(analytic)
+		if math.Abs(numeric-analytic)/denom > 0.12 {
+			t.Errorf("%s input[%d]: analytic %g numeric %g", kind, i, analytic, numeric)
+		}
+	}
+}
+
+func testGraph() *graph.Graph {
+	// small connected graph with varied degrees plus an isolated vertex
+	b := graph.NewBuilder(7, false)
+	for _, e := range [][2]graph.V{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {3, 4}, {4, 5}} {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build() // vertex 6 isolated
+}
+
+func TestGradCheckGCN(t *testing.T)  { gradCheck(t, testGraph(), GCN) }
+func TestGradCheckSAGE(t *testing.T) { gradCheck(t, testGraph(), SAGE) }
+func TestGradCheckGAT(t *testing.T)  { gradCheck(t, testGraph(), GAT) }
+
+func TestGradCheckOnRandomGraph(t *testing.T) {
+	g := gen.ErdosRenyi(12, 30, 5)
+	for _, kind := range []ModelKind{GCN, SAGE, GAT} {
+		gradCheck(t, g, kind)
+	}
+}
+
+func TestNormAdjRowsSumBounded(t *testing.T) {
+	g := gen.Clique(5)
+	a := NewNormAdj(g)
+	h := tensor.New(5, 1)
+	for i := range h.Data {
+		h.Data[i] = 1
+	}
+	out := a.Apply(h)
+	// Â of a regular graph has row sums 1 (it is doubly stochastic there)
+	for v := 0; v < 5; v++ {
+		if math.Abs(float64(out.At(v, 0))-1) > 1e-5 {
+			t.Fatalf("row sum %f", out.At(v, 0))
+		}
+	}
+}
+
+func TestMeanAggTransposeIsAdjoint(t *testing.T) {
+	// <Apply(h), y> must equal <h, ApplyT(y)> (adjoint property)
+	g := gen.ErdosRenyi(15, 40, 2)
+	agg := NewMeanAgg(g)
+	rng := rand.New(rand.NewSource(1))
+	h := tensor.New(15, 3)
+	y := tensor.New(15, 3)
+	for i := range h.Data {
+		h.Data[i] = rng.Float32()
+		y.Data[i] = rng.Float32()
+	}
+	ah := agg.Apply(h)
+	aty := agg.ApplyT(y)
+	var lhs, rhs float64
+	for i := range ah.Data {
+		lhs += float64(ah.Data[i]) * float64(y.Data[i])
+		rhs += float64(h.Data[i]) * float64(aty.Data[i])
+	}
+	if math.Abs(lhs-rhs) > 1e-4 {
+		t.Fatalf("adjoint violated: %f vs %f", lhs, rhs)
+	}
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	logits := tensor.FromRows([][]float32{{1, 2, 0.5}, {0, 0, 0}, {3, -1, 0}})
+	labels := []int{1, -1, 0} // middle row masked
+	loss, grad := nn.SoftmaxCrossEntropy(logits, labels)
+	if loss <= 0 {
+		t.Fatal("loss must be positive")
+	}
+	// masked row gradient is zero
+	for j := 0; j < 3; j++ {
+		if grad.At(1, j) != 0 {
+			t.Fatal("masked row has gradient")
+		}
+	}
+	// gradient rows sum to zero (softmax property)
+	for _, i := range []int{0, 2} {
+		var s float64
+		for j := 0; j < 3; j++ {
+			s += float64(grad.At(i, j))
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("row %d gradient sums to %g", i, s)
+		}
+	}
+}

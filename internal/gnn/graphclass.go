@@ -1,0 +1,185 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/nn"
+	"graphsys/internal/tensor"
+)
+
+// Whole-graph classification with a GNN (the deep-learning alternative to
+// frequent-pattern features on Figure 1's path 4): per-graph GIN layers with
+// shared weights, mean-pool readout, and a dense classification head.
+
+// GraphClassConfig configures GNN graph classification.
+type GraphClassConfig struct {
+	Kind   ModelKind // GIN recommended (most expressive sum aggregator)
+	Hidden int
+	Epochs int
+	LR     float64
+	Seed   int64
+}
+
+func (c *GraphClassConfig) defaults() {
+	if c.Hidden == 0 {
+		c.Hidden = 16
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 30
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+}
+
+// GraphClassifier classifies whole graphs.
+type GraphClassifier struct {
+	cfg     GraphClassConfig
+	dims    []int
+	inDim   int
+	classes int
+	// shared parameters: the template model (bound to an arbitrary graph,
+	// used only as weight storage) plus the readout head
+	template *Model
+	readout  *nn.Dense
+}
+
+// oneHotFeatures encodes vertex labels as one-hot rows of width inDim.
+func oneHotFeatures(g *graph.Graph, inDim int) *tensor.Matrix {
+	x := tensor.New(g.NumVertices(), inDim)
+	for v := 0; v < g.NumVertices(); v++ {
+		l := int(g.Label(graph.V(v)))
+		if l < inDim {
+			x.Set(v, l, 1)
+		}
+	}
+	return x
+}
+
+// TrainGraphClassifier trains a GNN whole-graph classifier on the
+// transactions with trainMask true and returns the classifier. Vertex
+// features are one-hot vertex labels.
+func TrainGraphClassifier(db *graph.TransactionDB, trainMask []bool, cfg GraphClassConfig) *GraphClassifier {
+	cfg.defaults()
+	var maxLabel int32
+	classes := 0
+	for i, g := range db.Graphs {
+		if g.MaxLabel() > maxLabel {
+			maxLabel = g.MaxLabel()
+		}
+		if db.Class[i]+1 > classes {
+			classes = db.Class[i] + 1
+		}
+	}
+	inDim := int(maxLabel) + 1
+	gc := &GraphClassifier{
+		cfg:     cfg,
+		inDim:   inDim,
+		classes: classes,
+		dims:    []int{inDim, cfg.Hidden, cfg.Hidden},
+	}
+	gc.template = NewModel(db.Graphs[0], cfg.Kind, gc.dims, cfg.Seed)
+	gc.readout = nn.NewDense(cfg.Hidden, classes, cfg.Seed+999)
+
+	params := append(gc.template.Params(), gc.readout.Params()...)
+	opt := nn.NewAdam(cfg.LR)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var trainIdx []int
+	for i, m := range trainMask {
+		if m {
+			trainIdx = append(trainIdx, i)
+		}
+	}
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		perm := rng.Perm(len(trainIdx))
+		for _, pi := range perm {
+			i := trainIdx[pi]
+			g := db.Graphs[i]
+			if g.NumVertices() == 0 {
+				continue
+			}
+			// per-graph model sharing the template's weights
+			m := NewModel(g, cfg.Kind, gc.dims, cfg.Seed)
+			copyParams(m, gc.template)
+			x := oneHotFeatures(g, inDim)
+			h := m.Forward(x)
+			pooled := meanPool(h)
+			logits := gc.readout.Forward(pooled)
+			_, dLogits := nn.SoftmaxCrossEntropy(logits, []int{db.Class[i]})
+			dPooled := gc.readout.Backward(dLogits)
+			m.Backward(meanPoolBackward(dPooled, h.Rows))
+			addGrads(gc.template, m)
+			opt.Step(params)
+		}
+	}
+	return gc
+}
+
+// Predict returns the predicted class of g.
+func (gc *GraphClassifier) Predict(g *graph.Graph) int {
+	if g.NumVertices() == 0 {
+		return 0
+	}
+	m := NewModel(g, gc.cfg.Kind, gc.dims, gc.cfg.Seed)
+	copyParams(m, gc.template)
+	h := m.Forward(oneHotFeatures(g, gc.inDim))
+	logits := gc.readout.Forward(meanPool(h))
+	row := logits.Row(0)
+	arg := 0
+	for j, v := range row {
+		if v > row[arg] {
+			arg = j
+		}
+	}
+	return arg
+}
+
+// Accuracy evaluates on transactions with mask true (nil = all).
+func (gc *GraphClassifier) Accuracy(db *graph.TransactionDB, mask []bool) float64 {
+	correct, total := 0, 0
+	for i, g := range db.Graphs {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if gc.Predict(g) == db.Class[i] {
+			correct++
+		}
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// meanPool averages all rows into a 1×d matrix.
+func meanPool(h *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(1, h.Cols)
+	or := out.Row(0)
+	for i := 0; i < h.Rows; i++ {
+		r := h.Row(i)
+		for j := range or {
+			or[j] += r[j]
+		}
+	}
+	inv := 1 / float32(h.Rows)
+	for j := range or {
+		or[j] *= inv
+	}
+	return out
+}
+
+// meanPoolBackward broadcasts the pooled gradient back to every row.
+func meanPoolBackward(dPooled *tensor.Matrix, rows int) *tensor.Matrix {
+	out := tensor.New(rows, dPooled.Cols)
+	inv := 1 / float32(rows)
+	dr := dPooled.Row(0)
+	for i := 0; i < rows; i++ {
+		r := out.Row(i)
+		for j := range r {
+			r[j] = dr[j] * inv
+		}
+	}
+	return out
+}

@@ -1,0 +1,250 @@
+package gnn
+
+import (
+	"math"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/nn"
+	"graphsys/internal/tensor"
+)
+
+// Layer is one graph-convolution layer with explicit backward.
+type Layer interface {
+	Forward(h *tensor.Matrix) *tensor.Matrix
+	Backward(dy *tensor.Matrix) *tensor.Matrix
+	Params() []*nn.Param
+}
+
+// GCNLayer computes σ(Â·H·W + b) (Kipf & Welling).
+type GCNLayer struct {
+	adj  *NormAdj
+	lin  *nn.Dense
+	act  *nn.ReLU
+	last bool // last layer: no activation (logits)
+}
+
+// NewGCNLayer builds a GCN layer over g.
+func NewGCNLayer(g *graph.Graph, in, out int, last bool, seed int64) *GCNLayer {
+	return &GCNLayer{adj: NewNormAdj(g), lin: nn.NewDense(in, out, seed), act: &nn.ReLU{}, last: last}
+}
+
+// Forward runs graph data retrieving (Â·H) then model computation (·W, σ).
+func (l *GCNLayer) Forward(h *tensor.Matrix) *tensor.Matrix {
+	z := l.lin.Forward(l.adj.Apply(h))
+	if l.last {
+		return z
+	}
+	return l.act.Forward(z)
+}
+
+// Backward propagates through σ, W and Â (Â is symmetric).
+func (l *GCNLayer) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if !l.last {
+		dy = l.act.Backward(dy)
+	}
+	dAgg := l.lin.Backward(dy)
+	return l.adj.Apply(dAgg)
+}
+
+// Params returns the layer parameters.
+func (l *GCNLayer) Params() []*nn.Param { return l.lin.Params() }
+
+// SAGELayer is the GraphSAGE mean-aggregator layer from the paper's §3
+// equation: h'_v = σ(W·CONCAT(h_v, mean_{u∈N(v)} h_u) + b).
+type SAGELayer struct {
+	agg  *MeanAgg
+	lin  *nn.Dense
+	act  *nn.ReLU
+	last bool
+	inD  int
+}
+
+// NewSAGELayer builds a GraphSAGE layer over g.
+func NewSAGELayer(g *graph.Graph, in, out int, last bool, seed int64) *SAGELayer {
+	return &SAGELayer{agg: NewMeanAgg(g), lin: nn.NewDense(2*in, out, seed), act: &nn.ReLU{}, last: last, inD: in}
+}
+
+// Forward aggregates neighbor features and applies the dense transform.
+func (l *SAGELayer) Forward(h *tensor.Matrix) *tensor.Matrix {
+	hn := l.agg.Apply(h)
+	z := l.lin.Forward(tensor.ConcatCols(h, hn))
+	if l.last {
+		return z
+	}
+	return l.act.Forward(z)
+}
+
+// Backward splits the concat gradient into self and neighbor parts.
+func (l *SAGELayer) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if !l.last {
+		dy = l.act.Backward(dy)
+	}
+	dConcat := l.lin.Backward(dy)
+	dSelf, dN := tensor.SplitCols(dConcat, l.inD)
+	dH := l.agg.ApplyT(dN)
+	dH.AddInPlace(dSelf)
+	return dH
+}
+
+// Params returns the layer parameters.
+func (l *SAGELayer) Params() []*nn.Param { return l.lin.Params() }
+
+// GATLayer is a single-head graph attention layer (Veličković et al.):
+// e_uv = LeakyReLU(aᴸ·z_u + aᴿ·z_v) over u ∈ N(v)∪{v}, α = softmax_u,
+// out_v = σ(Σ_u α_uv z_u), where z = H·W.
+type GATLayer struct {
+	g        *graph.Graph
+	W        *nn.Param
+	AL, AR   *nn.Param
+	last     bool
+	negSlope float32
+
+	// caches
+	h     *tensor.Matrix
+	z     *tensor.Matrix
+	alpha [][]float32 // per v: attention over N(v)∪{v}
+	pre   [][]float32 // pre-LeakyReLU scores
+	act   *nn.ReLU
+}
+
+// NewGATLayer builds a single-head GAT layer over g.
+func NewGATLayer(g *graph.Graph, in, out int, last bool, seed int64) *GATLayer {
+	return &GATLayer{
+		g:        g,
+		W:        nn.NewParam(tensor.Xavier(in, out, seed)),
+		AL:       nn.NewParam(tensor.Xavier(1, out, seed+1)),
+		AR:       nn.NewParam(tensor.Xavier(1, out, seed+2)),
+		last:     last,
+		negSlope: 0.2,
+		act:      &nn.ReLU{},
+	}
+}
+
+func (l *GATLayer) nbrsWithSelf(v int) []graph.V {
+	ns := l.g.Neighbors(graph.V(v))
+	return append(append(make([]graph.V, 0, len(ns)+1), ns...), graph.V(v))
+}
+
+// Forward computes attention-weighted aggregation.
+func (l *GATLayer) Forward(h *tensor.Matrix) *tensor.Matrix {
+	n := l.g.NumVertices()
+	l.h = h
+	l.z = tensor.MatMul(h, l.W.W)
+	d := l.z.Cols
+	al, ar := l.AL.W.Row(0), l.AR.W.Row(0)
+	sL := make([]float32, n)
+	sR := make([]float32, n)
+	for v := 0; v < n; v++ {
+		zr := l.z.Row(v)
+		var a, b float32
+		for j := 0; j < d; j++ {
+			a += al[j] * zr[j]
+			b += ar[j] * zr[j]
+		}
+		sL[v], sR[v] = a, b
+	}
+	out := tensor.New(n, d)
+	l.alpha = make([][]float32, n)
+	l.pre = make([][]float32, n)
+	for v := 0; v < n; v++ {
+		nbrs := l.nbrsWithSelf(v)
+		pre := make([]float32, len(nbrs))
+		var max float32 = -1e30
+		for i, u := range nbrs {
+			e := sL[u] + sR[v]
+			if e < 0 {
+				e *= l.negSlope
+			}
+			pre[i] = e
+			if e > max {
+				max = e
+			}
+		}
+		alpha := make([]float32, len(nbrs))
+		var sum float32
+		for i := range pre {
+			alpha[i] = expf(pre[i] - max)
+			sum += alpha[i]
+		}
+		or := out.Row(v)
+		for i, u := range nbrs {
+			alpha[i] /= sum
+			zr := l.z.Row(int(u))
+			for j := 0; j < d; j++ {
+				or[j] += alpha[i] * zr[j]
+			}
+		}
+		l.alpha[v] = alpha
+		l.pre[v] = pre
+	}
+	if l.last {
+		return out
+	}
+	return l.act.Forward(out)
+}
+
+// Backward propagates through the attention mechanism exactly.
+func (l *GATLayer) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if !l.last {
+		dy = l.act.Backward(dy)
+	}
+	n := l.g.NumVertices()
+	d := l.z.Cols
+	al, ar := l.AL.W.Row(0), l.AR.W.Row(0)
+	dz := tensor.New(n, d)
+	dsL := make([]float32, n)
+	dsR := make([]float32, n)
+	for v := 0; v < n; v++ {
+		nbrs := l.nbrsWithSelf(v)
+		alpha := l.alpha[v]
+		dyv := dy.Row(v)
+		// dalpha and dz from out_v = Σ α_uv z_u
+		dalpha := make([]float32, len(nbrs))
+		for i, u := range nbrs {
+			zr := l.z.Row(int(u))
+			var s float32
+			for j := 0; j < d; j++ {
+				s += zr[j] * dyv[j]
+			}
+			dalpha[i] = s
+			dzr := dz.Row(int(u))
+			for j := 0; j < d; j++ {
+				dzr[j] += alpha[i] * dyv[j]
+			}
+		}
+		// softmax backward
+		var dot float32
+		for i := range nbrs {
+			dot += alpha[i] * dalpha[i]
+		}
+		for i, u := range nbrs {
+			de := alpha[i] * (dalpha[i] - dot)
+			// LeakyReLU backward
+			if l.pre[v][i] < 0 {
+				de *= l.negSlope
+			}
+			dsL[u] += de
+			dsR[v] += de
+		}
+	}
+	// s_v^L = aL·z_v, s_v^R = aR·z_v
+	dAL := l.AL.Grad.Row(0)
+	dAR := l.AR.Grad.Row(0)
+	for v := 0; v < n; v++ {
+		zr := l.z.Row(v)
+		dzr := dz.Row(v)
+		for j := 0; j < d; j++ {
+			dAL[j] += dsL[v] * zr[j]
+			dAR[j] += dsR[v] * zr[j]
+			dzr[j] += dsL[v]*al[j] + dsR[v]*ar[j]
+		}
+	}
+	// z = H·W
+	l.W.Grad.AddInPlace(tensor.MatMulT1(l.h, dz))
+	return tensor.MatMulT2(dz, l.W.W)
+}
+
+// Params returns the layer parameters.
+func (l *GATLayer) Params() []*nn.Param { return []*nn.Param{l.W, l.AL, l.AR} }
+
+func expf(x float32) float32 { return float32(math.Exp(float64(x))) }

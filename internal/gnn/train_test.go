@@ -1,0 +1,144 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/tensor"
+)
+
+// communityTask builds a node-classification task: planted communities with
+// noisy indicator features, 30% of vertices labeled for training.
+func communityTask(n, k int, seed int64) (*graph.Graph, *tensor.Matrix, []int, []bool, []bool) {
+	c := gen.PlantedPartitionSparse(n, k, 10, 1, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	x := tensor.New(n, k+2)
+	labels := make([]int, n)
+	train := make([]bool, n)
+	test := make([]bool, n)
+	for v := 0; v < n; v++ {
+		labels[v] = c.Membership[v]
+		// noisy one-hot community feature + 2 noise dims
+		x.Set(v, c.Membership[v], 0.6+0.4*rng.Float32())
+		for j := 0; j < k+2; j++ {
+			x.Set(v, j, x.At(v, j)+0.3*(rng.Float32()-0.5))
+		}
+		if rng.Float32() < 0.3 {
+			train[v] = true
+		} else {
+			test[v] = true
+		}
+	}
+	return c.Graph, x, labels, train, test
+}
+
+func TestFullGraphTrainingAllModels(t *testing.T) {
+	g, x, labels, train, test := communityTask(200, 3, 1)
+	for _, kind := range []ModelKind{GCN, SAGE, GAT} {
+		m := NewModel(g, kind, []int{x.Cols, 16, 3}, 2)
+		res := TrainFullGraph(m, x, labels, train, test, TrainConfig{Epochs: 60, LR: 0.02})
+		if res.TestAcc < 0.85 {
+			t.Errorf("%v test accuracy %.3f < 0.85", kind, res.TestAcc)
+		}
+		// loss must decrease
+		if res.Losses[len(res.Losses)-1] >= res.Losses[0] {
+			t.Errorf("%v loss did not decrease: %f -> %f", kind, res.Losses[0], res.Losses[len(res.Losses)-1])
+		}
+	}
+}
+
+func TestMinibatchTraining(t *testing.T) {
+	g, x, labels, train, test := communityTask(300, 3, 4)
+	var seeds []graph.V
+	for v, tr := range train {
+		if tr {
+			seeds = append(seeds, graph.V(v))
+		}
+	}
+	acc, _ := TrainMinibatch(g, x, labels, seeds, test, MinibatchConfig{
+		Epochs: 4, BatchSize: 32, Fanouts: []int{8, 8}, LR: 0.02, Hidden: 16, Kind: GCN, Seed: 3,
+	})
+	if acc < 0.8 {
+		t.Fatalf("minibatch GCN accuracy %.3f < 0.8", acc)
+	}
+}
+
+func TestNeighborSampleShape(t *testing.T) {
+	g := gen.BarabasiAlbert(500, 6, 2)
+	rng := rand.New(rand.NewSource(1))
+	seeds := []graph.V{1, 5, 9}
+	sub := NeighborSample(g, seeds, []int{4, 4}, rng)
+	// seeds are the first local vertices
+	for i, loc := range sub.SeedLoc {
+		if sub.NewToOld[loc] != seeds[i] {
+			t.Fatalf("seed %d mapped to %d", seeds[i], sub.NewToOld[loc])
+		}
+	}
+	// bounded by fanout budget
+	max := len(seeds) * (1 + 4 + 16)
+	if sub.Graph.NumVertices() > max {
+		t.Fatalf("sampled %d vertices > budget %d", sub.Graph.NumVertices(), max)
+	}
+	// sampled subgraph must be a subgraph of g
+	sub.Graph.EdgesOnce(func(u, v graph.V) {
+		if !g.HasEdge(sub.NewToOld[u], sub.NewToOld[v]) {
+			t.Fatal("sampled edge not in original graph")
+		}
+	})
+}
+
+func TestNeighborSampleSmallFanoutShrinks(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 8, 3)
+	rng := rand.New(rand.NewSource(2))
+	seeds := []graph.V{0, 10, 20, 30}
+	small := NeighborSample(g, seeds, []int{2, 2}, rand.New(rand.NewSource(1)))
+	big := NeighborSample(g, seeds, []int{20, 20}, rng)
+	if small.Graph.NumVertices() >= big.Graph.NumVertices() {
+		t.Fatalf("fanout 2 sampled %d >= fanout 20 sampled %d",
+			small.Graph.NumVertices(), big.Graph.NumVertices())
+	}
+}
+
+func TestKHopMaterialize(t *testing.T) {
+	g := gen.ErdosRenyi(100, 500, 5)
+	seeds := []graph.V{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	subs, st := KHopMaterialize(g, seeds, 2)
+	if len(subs) != 10 || st.Subgraphs != 10 {
+		t.Fatal("wrong subgraph count")
+	}
+	// AGL's storage redundancy: 2-hop balls on a dense graph overlap heavily
+	if st.BlowupFactor <= 1 {
+		t.Fatalf("expected storage blowup > 1, got %f", st.BlowupFactor)
+	}
+	for _, s := range subs {
+		if s.Graph.NumVertices() == 0 {
+			t.Fatal("empty materialised subgraph")
+		}
+		if s.NewToOld[s.SeedLoc[0]] != seeds[0] && s.SeedLoc[0] != 0 {
+			t.Fatal("seed not first")
+		}
+	}
+}
+
+func TestFeaturesExtraction(t *testing.T) {
+	g := gen.Grid(3, 3)
+	x := tensor.New(9, 2)
+	for v := 0; v < 9; v++ {
+		x.Set(v, 0, float32(v))
+	}
+	sub := NeighborSample(g, []graph.V{4}, []int{4}, rand.New(rand.NewSource(1)))
+	bx := sub.Features(x)
+	for i, old := range sub.NewToOld {
+		if bx.At(i, 0) != float32(old) {
+			t.Fatalf("feature row %d mismatched", i)
+		}
+	}
+}
+
+func TestModelKindString(t *testing.T) {
+	if GCN.String() != "GCN" || SAGE.String() != "GraphSAGE" || GAT.String() != "GAT" {
+		t.Fatal("names wrong")
+	}
+}

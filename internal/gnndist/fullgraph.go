@@ -1,0 +1,270 @@
+package gnndist
+
+import (
+	"math"
+
+	"graphsys/internal/cluster"
+	"graphsys/internal/gnn"
+	"graphsys/internal/graph"
+	"graphsys/internal/nn"
+	"graphsys/internal/partition"
+	"graphsys/internal/tensor"
+)
+
+// ---- DistGNN: full-graph training with delayed remote aggregates ----
+
+// delayedAdj is a GCN normalised adjacency split by a vertex partition:
+// Apply combines FRESH activations over same-partition edges with a STALE
+// snapshot over cross-partition edges — DistGNN's delayed-update
+// communication avoidance, where remote partial aggregates are refreshed
+// only every few epochs.
+type delayedAdj struct {
+	n      int
+	nbrs   [][]graph.V
+	wts    [][]float32
+	remote [][]bool // aligned with nbrs: true if the edge crosses partitions
+}
+
+func newDelayedAdj(g *graph.Graph, part *partition.Partition) *delayedAdj {
+	n := g.NumVertices()
+	a := &delayedAdj{n: n, nbrs: make([][]graph.V, n), wts: make([][]float32, n), remote: make([][]bool, n)}
+	invSqrt := make([]float64, n)
+	for v := 0; v < n; v++ {
+		invSqrt[v] = 1 / math.Sqrt(float64(g.Degree(graph.V(v))+1))
+	}
+	for v := 0; v < n; v++ {
+		ns := g.Neighbors(graph.V(v))
+		a.nbrs[v] = append(append([]graph.V(nil), ns...), graph.V(v))
+		w := make([]float32, len(ns)+1)
+		r := make([]bool, len(ns)+1)
+		for i, u := range ns {
+			w[i] = float32(invSqrt[v] * invSqrt[u])
+			r[i] = part.Assign[u] != part.Assign[v]
+		}
+		w[len(ns)] = float32(invSqrt[v] * invSqrt[v])
+		a.wts[v] = w
+		a.remote[v] = r
+	}
+	return a
+}
+
+// apply computes Â·H using fresh rows for local edges and stale rows for
+// remote edges.
+func (a *delayedAdj) apply(fresh, stale *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(a.n, fresh.Cols)
+	for v := 0; v < a.n; v++ {
+		or := out.Row(v)
+		for i, u := range a.nbrs[v] {
+			src := fresh
+			if a.remote[v][i] {
+				src = stale
+			}
+			w := a.wts[v][i]
+			hr := src.Row(int(u))
+			for j := range or {
+				or[j] += w * hr[j]
+			}
+		}
+	}
+	return out
+}
+
+// applyLocalT is the transpose action restricted to local edges (gradients
+// do not flow through the stale snapshot — exactly the approximation delayed
+// updates make).
+func (a *delayedAdj) applyLocalT(dy *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(a.n, dy.Cols)
+	for v := 0; v < a.n; v++ {
+		dr := dy.Row(v)
+		for i, u := range a.nbrs[v] {
+			if a.remote[v][i] {
+				continue
+			}
+			w := a.wts[v][i]
+			or := out.Row(int(u))
+			for j := range dr {
+				or[j] += w * dr[j]
+			}
+		}
+	}
+	return out
+}
+
+// boundaryVertices returns the vertices having at least one cross-partition
+// neighbor (whose activations must be shipped on refresh).
+func boundaryVertices(g *graph.Graph, part *partition.Partition) []graph.V {
+	var out []graph.V
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, u := range g.Neighbors(graph.V(v)) {
+			if part.Assign[u] != part.Assign[v] {
+				out = append(out, graph.V(v))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DistGNNConfig configures delayed-update full-graph training.
+type DistGNNConfig struct {
+	Workers      int
+	Part         *partition.Partition
+	Hidden       int
+	Epochs       int
+	LR           float64
+	RefreshEvery int // epochs between remote-aggregate refreshes (1 = sync)
+	Seed         int64
+}
+
+// DistGNNResult reports a delayed-update run.
+type DistGNNResult struct {
+	TestAcc   float64
+	Refreshes int64
+	Net       cluster.Stats
+}
+
+// TrainDistGNN trains a 2-layer GCN full-graph with DistGNN's delayed
+// updates: layer-2 aggregation uses a snapshot of layer-1 activations for
+// cross-partition edges, refreshed (and metered) every RefreshEvery epochs.
+func TrainDistGNN(task *gnn.Task, cfg DistGNNConfig) DistGNNResult {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Part == nil {
+		cfg.Part = partition.Metis(task.G, cfg.Workers)
+	}
+	if cfg.Hidden == 0 {
+		cfg.Hidden = 16
+	}
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 60
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.02
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = 1
+	}
+	clst := cluster.New(cfg.Workers)
+	adj := newDelayedAdj(task.G, cfg.Part)
+	boundary := boundaryVertices(task.G, cfg.Part)
+
+	lin1 := nn.NewDense(task.X.Cols, cfg.Hidden, cfg.Seed)
+	lin2 := nn.NewDense(cfg.Hidden, task.NumClasses, cfg.Seed+101)
+	relu := &nn.ReLU{}
+	opt := nn.NewAdam(cfg.LR)
+	params := append(lin1.Params(), lin2.Params()...)
+
+	masked := make([]int, len(task.Labels))
+	for i, l := range task.Labels {
+		if !task.TrainMask[i] {
+			masked[i] = -1
+		} else {
+			masked[i] = l
+		}
+	}
+	var res DistGNNResult
+	var staleH1 *tensor.Matrix
+	var lastLogits *tensor.Matrix
+	for ep := 0; ep < cfg.Epochs; ep++ {
+		// layer 1: X is static, so its exchange happens once (epoch 0)
+		agg0 := adj.apply(task.X, task.X)
+		h1 := relu.Forward(lin1.Forward(agg0))
+		if staleH1 == nil || ep%cfg.RefreshEvery == 0 {
+			staleH1 = h1.Clone()
+			res.Refreshes++
+			// ship boundary activations between partitions
+			for _, v := range boundary {
+				owner := cfg.Part.Assign[v]
+				for w := 0; w < cfg.Workers; w++ {
+					if w != owner {
+						clst.Network().Account(owner, w, int64(cfg.Hidden)*4)
+					}
+				}
+			}
+		}
+		agg1 := adj.apply(h1, staleH1)
+		logits := lin2.Forward(agg1)
+		lastLogits = logits
+		_, dLogits := nn.SoftmaxCrossEntropy(logits, masked)
+		dAgg1 := lin2.Backward(dLogits)
+		dH1 := adj.applyLocalT(dAgg1)
+		dZ1 := relu.Backward(dH1)
+		lin1.Backward(dZ1)
+		opt.Step(params)
+	}
+	res.TestAcc = nn.Accuracy(lastLogits, task.Labels, task.TestMask)
+	res.Net = clst.Network().Stats()
+	return res
+}
+
+// ---- HongTu: CPU-offloaded full-graph training ----
+
+// OffloadStats reports the memory/transfer accounting of HongTu-style
+// chunked execution, where vertex activations live in host memory and the
+// device processes one chunk of rows at a time.
+type OffloadStats struct {
+	DevicePeakFloats int64 // peak device-resident floats
+	HostTransferred  int64 // floats moved host<->device
+	FullGraphFloats  int64 // what an all-on-device run would need resident
+}
+
+// OffloadedGCNForward computes a 2-layer GCN forward pass chunk by chunk:
+// for each layer, only `chunkRows` rows of activations are resident on the
+// "device" at a time, with inputs streamed from host memory. The returned
+// logits are bit-identical in structure to the monolithic forward; the stats
+// expose HongTu's trade: bounded device memory for extra host traffic.
+func OffloadedGCNForward(g *graph.Graph, x *tensor.Matrix, lin1W, lin1B, lin2W, lin2B *tensor.Matrix, chunkRows int) (*tensor.Matrix, OffloadStats) {
+	n := g.NumVertices()
+	adj := gnn.NewNormAdj(g)
+	var st OffloadStats
+	hidden := lin1W.Cols
+	classes := lin2W.Cols
+	st.FullGraphFloats = int64(n) * int64(x.Cols+hidden+classes)
+
+	layer := func(input *tensor.Matrix, w, b *tensor.Matrix, activate bool) *tensor.Matrix {
+		out := tensor.New(n, w.Cols)
+		for lo := 0; lo < n; lo += chunkRows {
+			hi := lo + chunkRows
+			if hi > n {
+				hi = n
+			}
+			// device holds: chunk of aggregated inputs + chunk of outputs
+			devFloats := int64(hi-lo) * int64(input.Cols+w.Cols)
+			if devFloats > st.DevicePeakFloats {
+				st.DevicePeakFloats = devFloats
+			}
+			// stream the needed input rows from host (charged per chunk)
+			st.HostTransferred += int64(hi-lo) * int64(input.Cols)
+			for v := lo; v < hi; v++ {
+				// aggregate row v on device
+				aggRow := make([]float32, input.Cols)
+				for i, u := range adj.NeighborsOf(v) {
+					wgt := adj.WeightsOf(v)[i]
+					ur := input.Row(int(u))
+					for j := range aggRow {
+						aggRow[j] += wgt * ur[j]
+					}
+				}
+				or := out.Row(v)
+				for j := 0; j < w.Cols; j++ {
+					var s float32
+					for d, av := range aggRow {
+						s += av * w.At(d, j)
+					}
+					s += b.At(0, j)
+					if activate && s < 0 {
+						s = 0
+					}
+					or[j] = s
+				}
+			}
+			// write results back to host
+			st.HostTransferred += int64(hi-lo) * int64(w.Cols)
+		}
+		return out
+	}
+	h1 := layer(x, lin1W, lin1B, true)
+	logits := layer(h1, lin2W, lin2B, false)
+	return logits, st
+}

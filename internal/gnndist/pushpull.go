@@ -1,0 +1,69 @@
+package gnndist
+
+import (
+	"graphsys/internal/cluster"
+	"graphsys/internal/graph"
+	"graphsys/internal/partition"
+	"graphsys/internal/tensor"
+)
+
+// P³'s push-pull parallelism (Gandhi & Iyer, OSDI'21). The first GNN layer
+// consumes raw features (wide, dimension D) and produces hidden activations
+// (narrow, dimension H ≪ D). Data-parallel systems PULL the D-wide feature
+// rows of every sampled vertex to the batch owner; P³ instead partitions the
+// feature matrix BY DIMENSION, has every worker compute a partial layer-1
+// product from its dimension slice (model parallelism), and PUSHES the
+// H-wide partial activations to the owner, who sums them — shrinking layer-1
+// traffic from |sampled|·D to k·|batch targets|·H values.
+
+// PullLayer1 computes Z = X[batch]·W1 at worker `owner` by pulling the raw
+// feature rows of batch vertices from their partition owners. Returns Z and
+// the bytes transferred.
+func PullLayer1(net *cluster.Network, part *partition.Partition, x, w1 *tensor.Matrix, batch []graph.V, owner int) (*tensor.Matrix, int64) {
+	before := net.Stats().Bytes
+	rows := tensor.New(len(batch), x.Cols)
+	for i, v := range batch {
+		if part.Assign[v] != owner {
+			net.Account(part.Assign[v], owner, int64(x.Cols)*4)
+		}
+		copy(rows.Row(i), x.Row(int(v)))
+	}
+	z := tensor.MatMul(rows, w1)
+	return z, net.Stats().Bytes - before
+}
+
+// PushPullLayer1 computes the same Z with P³'s scheme: worker w holds
+// feature dims [fd.Lo[w], fd.Hi[w]) of ALL vertices and computes the partial
+// product with the matching W1 row block, pushing the |batch|×H partial to
+// the owner. Returns Z (identical to PullLayer1 up to float rounding) and
+// the bytes transferred.
+func PushPullLayer1(net *cluster.Network, fd *partition.FeatureDim, x, w1 *tensor.Matrix, batch []graph.V, owner int) (*tensor.Matrix, int64) {
+	before := net.Stats().Bytes
+	h := w1.Cols
+	z := tensor.New(len(batch), h)
+	for w := 0; w < fd.K; w++ {
+		lo, hi := fd.Lo[w], fd.Hi[w]
+		if lo == hi {
+			continue
+		}
+		partial := tensor.New(len(batch), h)
+		for i, v := range batch {
+			row := x.Row(int(v))[lo:hi]
+			for d, xv := range row {
+				if xv == 0 {
+					continue
+				}
+				wr := w1.Row(lo + d)
+				pr := partial.Row(i)
+				for j := 0; j < h; j++ {
+					pr[j] += xv * wr[j]
+				}
+			}
+		}
+		if w != owner {
+			net.Account(w, owner, int64(len(batch))*int64(h)*4)
+		}
+		z.AddInPlace(partial)
+	}
+	return z, net.Stats().Bytes - before
+}

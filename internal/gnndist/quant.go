@@ -1,0 +1,87 @@
+package gnndist
+
+import (
+	"math"
+
+	"graphsys/internal/tensor"
+)
+
+// Quantizer compresses matrices to a given bit width with per-row symmetric
+// scaling before they go on the wire, optionally carrying an error-feedback
+// residual (EC-Graph's error-compensated compression): the quantisation
+// error of round t is added to the input of round t+1, so the bias cancels
+// over time instead of accumulating in the model.
+type Quantizer struct {
+	Bits       int  // 32 (no-op), 8, 4, 2, 1
+	Compensate bool // error feedback on/off
+	residual   *tensor.Matrix
+	BytesSent  int64 // metered compressed payload
+	BytesValue int64 // what fp32 would have cost
+}
+
+// NewQuantizer creates a quantizer. Widths outside [2, 32] are clamped
+// (1-bit symmetric quantisation has no representable level).
+func NewQuantizer(bits int, compensate bool) *Quantizer {
+	if bits <= 0 || bits > 32 {
+		bits = 32
+	}
+	if bits == 1 {
+		bits = 2
+	}
+	return &Quantizer{Bits: bits, Compensate: compensate}
+}
+
+// Compress simulates quantise→transmit→dequantise of m, returning the values
+// the receiver reconstructs, and accounts payload sizes. The caller sends
+// the returned matrix; m itself is not modified.
+func (q *Quantizer) Compress(m *tensor.Matrix) *tensor.Matrix {
+	q.BytesValue += int64(len(m.Data)) * 4
+	if q.Bits >= 32 {
+		q.BytesSent += int64(len(m.Data)) * 4
+		return m.Clone()
+	}
+	// scales: one fp32 per row
+	q.BytesSent += int64(len(m.Data))*int64(q.Bits)/8 + int64(m.Rows)*4
+	in := m
+	if q.Compensate {
+		if q.residual == nil {
+			q.residual = tensor.New(m.Rows, m.Cols)
+		}
+		in = tensor.Add(m, q.residual)
+	}
+	out := tensor.New(m.Rows, m.Cols)
+	levels := float64(int64(1)<<(q.Bits-1)) - 1 // symmetric int range
+	for i := 0; i < m.Rows; i++ {
+		row := in.Row(i)
+		var max float64
+		for _, v := range row {
+			if a := math.Abs(float64(v)); a > max {
+				max = a
+			}
+		}
+		or := out.Row(i)
+		if max == 0 {
+			continue
+		}
+		scale := max / levels
+		for j, v := range row {
+			qv := math.Round(float64(v) / scale)
+			or[j] = float32(qv * scale)
+		}
+	}
+	if q.Compensate {
+		// residual = input - transmitted
+		for i := range q.residual.Data {
+			q.residual.Data[i] = in.Data[i] - out.Data[i]
+		}
+	}
+	return out
+}
+
+// CompressionRatio returns fp32 bytes / compressed bytes so far.
+func (q *Quantizer) CompressionRatio() float64 {
+	if q.BytesSent == 0 {
+		return 1
+	}
+	return float64(q.BytesValue) / float64(q.BytesSent)
+}

@@ -1,0 +1,426 @@
+package gnndist
+
+import (
+	"math/rand"
+
+	"graphsys/internal/cluster"
+	"graphsys/internal/gnn"
+	"graphsys/internal/graph"
+	"graphsys/internal/nn"
+	"graphsys/internal/partition"
+	"graphsys/internal/tensor"
+)
+
+// TrainerConfig configures distributed data-parallel GNN training.
+type TrainerConfig struct {
+	Workers   int
+	Part      *partition.Partition // vertex placement; nil = hash
+	CacheSize int                  // >0 enables BGL-style feature cache
+
+	Kind      gnn.ModelKind
+	Hidden    int
+	BatchSize int
+	Fanouts   []int
+	LR        float64
+	Seed      int64
+
+	// TimeBudget is the simulated wall-clock the run may consume; a worker
+	// step costs WorkerSpeed[w] time units (1.0 default). This is what makes
+	// time-to-accuracy comparable between synchronous training (each round
+	// costs max over workers — stragglers gate everyone) and asynchronous
+	// bounded-staleness training (workers proceed at their own pace).
+	TimeBudget  float64
+	WorkerSpeed []float64
+
+	// Staleness bounds the version lag in TrainBoundedStale.
+	Staleness int
+	// SancusTau is the relative weight-change threshold below which a
+	// broadcast round is skipped in TrainSancus.
+	SancusTau float64
+
+	// QuantBits/QuantCompensate compress gradient pushes (32 = off).
+	QuantBits       int
+	QuantCompensate bool
+	// FeatureBits compresses remote feature fetches (F²CGT; 0/32 = off).
+	FeatureBits int
+}
+
+func (c *TrainerConfig) defaults() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 16
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if len(c.Fanouts) == 0 {
+		c.Fanouts = []int{8, 8}
+	}
+	if c.LR == 0 {
+		c.LR = 0.02
+	}
+	if c.TimeBudget == 0 {
+		c.TimeBudget = 60
+	}
+	if c.WorkerSpeed == nil {
+		c.WorkerSpeed = make([]float64, c.Workers)
+		for i := range c.WorkerSpeed {
+			c.WorkerSpeed[i] = 1
+		}
+	}
+	if c.QuantBits == 0 {
+		c.QuantBits = 32
+	}
+}
+
+// DistResult reports a distributed training run.
+type DistResult struct {
+	TestAcc    float64
+	Steps      int64 // total gradient steps applied
+	SimTime    float64
+	SyncRounds int64
+	Skipped    int64 // Sancus: broadcasts skipped
+	Net        cluster.Stats
+	RemoteFrac float64 // fraction of feature fetches that were remote
+	GradBytes  int64   // gradient payload actually sent (post-quantisation)
+}
+
+// dist holds the shared machinery of all training modes.
+type dist struct {
+	cfg   TrainerConfig
+	task  *gnn.Task
+	clst  *cluster.Cluster
+	fs    *FeatureStore
+	dims  []int
+	shard [][]graph.V // train seeds per worker
+	rngs  []*rand.Rand
+	quant []map[int]*Quantizer // per worker, per parameter index
+}
+
+func newDist(task *gnn.Task, cfg TrainerConfig) *dist {
+	cfg.defaults()
+	if cfg.Part == nil {
+		cfg.Part = partition.Hash(task.G, cfg.Workers)
+	}
+	d := &dist{cfg: cfg, task: task, clst: cluster.New(cfg.Workers)}
+	d.fs = NewFeatureStore(task.X, cfg.Part, d.clst.Network())
+	d.fs.FeatureBits = cfg.FeatureBits
+	if cfg.CacheSize > 0 {
+		d.fs.EnableCache(task.G, cfg.CacheSize, cfg.Workers)
+	}
+	d.dims = []int{task.X.Cols, cfg.Hidden, task.NumClasses}
+	// shard train seeds by the partition (each worker trains its own seeds,
+	// the DistDGL/ByteGNN arrangement)
+	d.shard = make([][]graph.V, cfg.Workers)
+	for _, s := range task.TrainSeeds() {
+		w := cfg.Part.Assign[s]
+		d.shard[w] = append(d.shard[w], s)
+	}
+	d.rngs = make([]*rand.Rand, cfg.Workers)
+	d.quant = make([]map[int]*Quantizer, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		d.rngs[w] = rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+		d.quant[w] = map[int]*Quantizer{}
+	}
+	return d
+}
+
+// weights is a parameter snapshot.
+type weights []*tensor.Matrix
+
+func newMaster(d *dist) (*gnn.Model, weights) {
+	m := gnn.NewModel(d.task.G, d.cfg.Kind, d.dims, d.cfg.Seed)
+	var w weights
+	for _, p := range m.Params() {
+		w = append(w, p.W)
+	}
+	return m, w
+}
+
+func cloneWeights(w weights) weights {
+	out := make(weights, len(w))
+	for i, m := range w {
+		out[i] = m.Clone()
+	}
+	return out
+}
+
+func weightBytes(w weights) int64 {
+	var b int64
+	for _, m := range w {
+		b += int64(len(m.Data)) * 4
+	}
+	return b
+}
+
+func relChange(a, b weights) float64 {
+	var diff, norm float64
+	for i := range a {
+		for j := range a[i].Data {
+			d := float64(a[i].Data[j] - b[i].Data[j])
+			diff += d * d
+			n := float64(a[i].Data[j])
+			norm += n * n
+		}
+	}
+	if norm == 0 {
+		return 1
+	}
+	return diff / norm
+}
+
+// gradStep computes one minibatch gradient for worker w using the given
+// weight snapshot, with feature fetches metered. Returns the (possibly
+// quantised) gradients and the bytes pushed.
+func (d *dist) gradStep(w int, snapshot weights) (weights, int64) {
+	seeds := d.shard[w]
+	if len(seeds) == 0 {
+		return nil, 0
+	}
+	rng := d.rngs[w]
+	batch := make([]graph.V, 0, d.cfg.BatchSize)
+	for i := 0; i < d.cfg.BatchSize; i++ {
+		batch = append(batch, seeds[rng.Intn(len(seeds))])
+	}
+	// dedup seeds (NeighborSample assumes distinct seeds)
+	seen := map[graph.V]bool{}
+	uniq := batch[:0]
+	for _, s := range batch {
+		if !seen[s] {
+			seen[s] = true
+			uniq = append(uniq, s)
+		}
+	}
+	sub := gnn.NeighborSample(d.task.G, uniq, d.cfg.Fanouts, rng)
+	bx := d.fs.Fetch(w, sub.NewToOld)
+	blabels := make([]int, sub.Graph.NumVertices())
+	for i := range blabels {
+		blabels[i] = -1
+	}
+	for _, loc := range sub.SeedLoc {
+		blabels[loc] = d.task.Labels[sub.NewToOld[loc]]
+	}
+	bm := gnn.NewModel(sub.Graph, d.cfg.Kind, d.dims, d.cfg.Seed)
+	params := bm.Params()
+	for i, p := range params {
+		copy(p.W.Data, snapshot[i].Data)
+	}
+	logits := bm.Forward(bx)
+	_, dLogits := nn.SoftmaxCrossEntropy(logits, blabels)
+	bm.Backward(dLogits)
+	var grads weights
+	for _, p := range params {
+		grads = append(grads, p.Grad)
+	}
+	// quantise the push (EC-Graph/EXACT-style compression); error-feedback
+	// residuals are per (worker, parameter) since shapes differ
+	var sent int64
+	for i := range grads {
+		q, ok := d.quant[w][i]
+		if !ok {
+			q = NewQuantizer(d.cfg.QuantBits, d.cfg.QuantCompensate)
+			d.quant[w][i] = q
+		}
+		grads[i] = q.Compress(grads[i])
+		sent += q.BytesSent
+		q.BytesSent = 0
+		q.BytesValue = 0
+	}
+	return grads, sent
+}
+
+func (d *dist) evaluate(master weights) float64 {
+	eval := gnn.NewModel(d.task.G, d.cfg.Kind, d.dims, d.cfg.Seed)
+	for i, p := range eval.Params() {
+		copy(p.W.Data, master[i].Data)
+	}
+	logits := eval.Forward(d.task.X)
+	return nn.Accuracy(logits, d.task.Labels, d.task.TestMask)
+}
+
+// TrainSync runs fully synchronous data-parallel training: every round all
+// workers compute gradients on the same weight version, gradients are
+// averaged on a parameter server, and new weights are broadcast. A round
+// costs the time of the SLOWEST worker (the straggler effect asynchronous
+// modes avoid).
+func TrainSync(task *gnn.Task, cfg TrainerConfig) DistResult {
+	res, _ := trainSync(task, cfg)
+	return res
+}
+
+// SyncStats bundles a sync-training result with feature-store counters.
+type SyncStats struct {
+	Result              DistResult
+	Hits, Misses, Local int64
+}
+
+// TrainSyncWithStats is TrainSync plus the feature-store cache counters
+// (used by the Table-2 caching experiment).
+func TrainSyncWithStats(task *gnn.Task, cfg TrainerConfig) SyncStats {
+	res, d := trainSync(task, cfg)
+	return SyncStats{Result: res, Hits: d.fs.Hits, Misses: d.fs.Misses, Local: d.fs.Local}
+}
+
+func trainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, *dist) {
+	d := newDist(task, cfg)
+	cfg = d.cfg
+	masterModel, master := newMaster(d)
+	opt := nn.NewAdam(cfg.LR)
+	ps := 0 // parameter-server worker
+	var res DistResult
+	for res.SimTime < cfg.TimeBudget {
+		// all workers compute on the same version
+		var roundMax float64
+		for w := 0; w < cfg.Workers; w++ {
+			grads, sent := d.gradStep(w, master)
+			res.GradBytes += sent
+			if grads != nil {
+				d.clst.Network().Account(w, ps, sent)
+				for i, p := range masterModel.Params() {
+					p.Grad.AddScaled(grads[i], 1/float32(cfg.Workers))
+				}
+			}
+			if cfg.WorkerSpeed[w] > roundMax {
+				roundMax = cfg.WorkerSpeed[w]
+			}
+		}
+		opt.Step(masterModel.Params())
+		res.Steps++
+		res.SyncRounds++
+		// broadcast new weights
+		wb := weightBytes(master)
+		for w := 0; w < cfg.Workers; w++ {
+			if w != ps {
+				d.clst.Network().Account(ps, w, wb)
+			}
+		}
+		res.SimTime += roundMax
+	}
+	res.TestAcc = d.evaluate(master)
+	res.Net = d.clst.Network().Stats()
+	res.RemoteFrac = d.fs.RemoteFraction()
+	return res, d
+}
+
+// TrainBoundedStale runs asynchronous training with bounded staleness
+// (Dorylus/P³): each worker proceeds at its own speed, pushing gradients to
+// the parameter server as they complete and pulling fresh weights only when
+// its version lag exceeds cfg.Staleness. Stragglers no longer gate the
+// round, so more gradient steps land within the same simulated time budget.
+func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) DistResult {
+	d := newDist(task, cfg)
+	cfg = d.cfg
+	masterModel, master := newMaster(d)
+	opt := nn.NewAdam(cfg.LR)
+	ps := 0
+	var res DistResult
+
+	clock := make([]float64, cfg.Workers)
+	local := make([]weights, cfg.Workers)
+	version := make([]int64, cfg.Workers)
+	var masterVersion int64
+	for w := range local {
+		local[w] = cloneWeights(master)
+	}
+	for {
+		// next worker to finish a step
+		next, best := -1, cfg.TimeBudget
+		for w := 0; w < cfg.Workers; w++ {
+			if t := clock[w] + cfg.WorkerSpeed[w]; t <= best {
+				next, best = w, t
+			}
+		}
+		if next == -1 {
+			break
+		}
+		w := next
+		clock[w] = best
+		// pull if too stale
+		if masterVersion-version[w] > int64(cfg.Staleness) {
+			for i := range local[w] {
+				copy(local[w][i].Data, master[i].Data)
+			}
+			version[w] = masterVersion
+			d.clst.Network().Account(ps, w, weightBytes(master))
+		}
+		grads, sent := d.gradStep(w, local[w])
+		res.GradBytes += sent
+		if grads != nil {
+			d.clst.Network().Account(w, ps, sent)
+			for i, p := range masterModel.Params() {
+				p.Grad.AddInPlace(grads[i])
+			}
+			opt.Step(masterModel.Params())
+			masterVersion++
+			res.Steps++
+		}
+	}
+	for _, c := range clock {
+		if c > res.SimTime {
+			res.SimTime = c
+		}
+	}
+	res.TestAcc = d.evaluate(master)
+	res.Net = d.clst.Network().Stats()
+	res.RemoteFrac = d.fs.RemoteFraction()
+	return res
+}
+
+// TrainSancus runs synchronous rounds but with Sancus' staleness-aware
+// communication avoidance: after the parameter server applies a round's
+// gradients, the fresh weights are broadcast only if they changed by more
+// than cfg.SancusTau relative to the last broadcast; otherwise workers keep
+// computing on their (bounded-stale) cached weights and the broadcast is
+// skipped — saving bytes with negligible accuracy impact when updates are
+// small.
+func TrainSancus(task *gnn.Task, cfg TrainerConfig) DistResult {
+	d := newDist(task, cfg)
+	cfg = d.cfg
+	if cfg.SancusTau == 0 {
+		cfg.SancusTau = 1e-4
+	}
+	masterModel, master := newMaster(d)
+	opt := nn.NewAdam(cfg.LR)
+	ps := 0
+	var res DistResult
+	broadcast := cloneWeights(master) // what workers currently hold
+	for res.SimTime < cfg.TimeBudget {
+		var roundMax float64
+		for w := 0; w < cfg.Workers; w++ {
+			grads, sent := d.gradStep(w, broadcast)
+			res.GradBytes += sent
+			if grads != nil {
+				d.clst.Network().Account(w, ps, sent)
+				for i, p := range masterModel.Params() {
+					p.Grad.AddScaled(grads[i], 1/float32(cfg.Workers))
+				}
+			}
+			if cfg.WorkerSpeed[w] > roundMax {
+				roundMax = cfg.WorkerSpeed[w]
+			}
+		}
+		opt.Step(masterModel.Params())
+		res.Steps++
+		res.SyncRounds++
+		if relChange(master, broadcast) > cfg.SancusTau {
+			wb := weightBytes(master)
+			for w := 0; w < cfg.Workers; w++ {
+				if w != ps {
+					d.clst.Network().Account(ps, w, wb)
+				}
+			}
+			for i := range broadcast {
+				copy(broadcast[i].Data, master[i].Data)
+			}
+		} else {
+			res.Skipped++
+		}
+		res.SimTime += roundMax
+	}
+	res.TestAcc = d.evaluate(master)
+	res.Net = d.clst.Network().Stats()
+	res.RemoteFrac = d.fs.RemoteFraction()
+	return res
+}

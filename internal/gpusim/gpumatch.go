@@ -1,0 +1,348 @@
+package gpusim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/match"
+)
+
+// BFSMatch counts pattern matches with pure level-synchronous BFS expansion
+// in device memory — the GSI/cuTS strategy. All partial matches of length i
+// are materialised before length i+1; accesses are coalesced, divergence is
+// low, but memory grows with the intermediate-result explosion. If a level
+// does not fit in device memory the run aborts with Metrics.OOM set (the
+// failure mode that motivated PBE/VSGM/SGSI partitioning and G²-AIMD).
+func BFSMatch(g *graph.Graph, plan *match.Plan, dev *Device) (int64, Metrics) {
+	var m Metrics
+	mem := &memTracker{cap: dev.MemorySlots}
+	k := len(plan.Order)
+	if k == 0 {
+		return 0, m
+	}
+	level := [][]graph.V{}
+	roots := plan.CandidatesForPrefix(g, nil, nil)
+	m.MemTransactions += coalescedTransactions(int64(g.NumVertices()), dev.WarpSize)
+	for _, r := range roots {
+		level = append(level, []graph.V{r})
+	}
+	if !mem.alloc(int64(len(level))) {
+		m.OOM = true
+		m.PeakMemory = mem.peak
+		return 0, m
+	}
+	for depth := 1; depth < k; depth++ {
+		var next [][]graph.V
+		// warp-batch the expansion of this level
+		for lo := 0; lo < len(level); lo += dev.WarpSize {
+			hi := lo + dev.WarpSize
+			if hi > len(level) {
+				hi = len(level)
+			}
+			lane := make([]int64, 0, hi-lo)
+			var produced int64
+			for _, prefix := range level[lo:hi] {
+				cands := plan.CandidatesForPrefix(g, prefix, nil)
+				lane = append(lane, int64(len(cands)))
+				produced += int64(len(cands))
+				for _, c := range cands {
+					child := append(append(make([]graph.V, 0, depth+1), prefix...), c)
+					next = append(next, child)
+				}
+			}
+			cyc, div := warpCost(lane)
+			m.WarpCycles += cyc
+			m.DivergenceLoss += div
+			m.MemTransactions += coalescedTransactions(produced, dev.WarpSize)
+		}
+		if !mem.alloc(int64(len(next)) * int64(depth+1)) {
+			m.OOM = true
+			m.PeakMemory = mem.peak
+			return 0, m
+		}
+		mem.free(int64(len(level)) * int64(depth))
+		level = next
+	}
+	m.PeakMemory = mem.peak
+	return int64(len(level)), m
+}
+
+// AIMDMatch is the G²-AIMD strategy: BFS-style extension executed chunk by
+// chunk, with the chunk size adapted additively upward while memory is
+// plentiful and multiplicatively downward when a chunk's output would
+// overflow device memory; overflow is buffered in host memory instead of
+// aborting. The result is BFS-like coalescing without the OOM failure mode.
+func AIMDMatch(g *graph.Graph, plan *match.Plan, dev *Device) (int64, Metrics) {
+	var m Metrics
+	mem := &memTracker{cap: dev.MemorySlots}
+	k := len(plan.Order)
+	if k == 0 {
+		return 0, m
+	}
+	chunk := int64(dev.WarpSize) // initial chunk size
+	const additive = 32
+	var count int64
+
+	var process func(depth int, prefixes [][]graph.V)
+	process = func(depth int, prefixes [][]graph.V) {
+		if depth == k {
+			count += int64(len(prefixes))
+			return
+		}
+		for lo := 0; lo < len(prefixes); {
+			c := int(chunk)
+			hi := lo + c
+			if hi > len(prefixes) {
+				hi = len(prefixes)
+			}
+			batch := prefixes[lo:hi]
+			lo = hi
+			// expand the chunk with warp batching
+			var next [][]graph.V
+			for blo := 0; blo < len(batch); blo += dev.WarpSize {
+				bhi := blo + dev.WarpSize
+				if bhi > len(batch) {
+					bhi = len(batch)
+				}
+				lane := make([]int64, 0, bhi-blo)
+				var produced int64
+				for _, prefix := range batch[blo:bhi] {
+					cands := plan.CandidatesForPrefix(g, prefix, nil)
+					lane = append(lane, int64(len(cands)))
+					produced += int64(len(cands))
+					for _, cd := range cands {
+						next = append(next, append(append(make([]graph.V, 0, depth+1), prefix...), cd))
+					}
+				}
+				cyc, div := warpCost(lane)
+				m.WarpCycles += cyc
+				m.DivergenceLoss += div
+				m.MemTransactions += coalescedTransactions(produced, dev.WarpSize)
+			}
+			slots := int64(len(next)) * int64(depth+1)
+			if mem.alloc(slots) {
+				// additive increase
+				chunk += additive
+				m.ChunkAdjust++
+				process(depth+1, next)
+				mem.free(slots)
+			} else {
+				// multiplicative decrease + host buffering: the children are
+				// staged through host memory and processed in smaller chunks
+				m.HostSpillSlots += slots
+				if chunk > int64(dev.WarpSize) {
+					chunk /= 2
+					m.ChunkAdjust++
+				}
+				process(depth+1, next)
+			}
+		}
+	}
+	roots := plan.CandidatesForPrefix(g, nil, nil)
+	m.MemTransactions += coalescedTransactions(int64(g.NumVertices()), dev.WarpSize)
+	rootPrefixes := make([][]graph.V, 0, len(roots))
+	for _, r := range roots {
+		rootPrefixes = append(rootPrefixes, []graph.V{r})
+	}
+	process(1, rootPrefixes)
+	m.PeakMemory = mem.peak
+	return count, m
+}
+
+// DFSWarpMatch is the STMatch/T-DFS strategy: each warp performs depth-first
+// matching over a chunk of independent search subtrees using its own stack
+// (device memory O(warps·k), never OOM), with idle warps stealing root tasks
+// from busy ones. Accesses are uncoalesced (backtracking jumps around the
+// graph), the trade-off Jenkins et al. identified.
+func DFSWarpMatch(g *graph.Graph, plan *match.Plan, dev *Device) (int64, Metrics) {
+	var m Metrics
+	k := len(plan.Order)
+	if k == 0 {
+		return 0, m
+	}
+	roots := plan.CandidatesForPrefix(g, nil, nil)
+	var qmu sync.Mutex
+	queue := make([][]graph.V, 0, len(roots))
+	for _, r := range roots {
+		queue = append(queue, []graph.V{r})
+	}
+	take := func() ([]graph.V, bool) {
+		qmu.Lock()
+		defer qmu.Unlock()
+		if len(queue) == 0 {
+			return nil, false
+		}
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		return t, true
+	}
+	var count, cycles, divloss, random, steals atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < dev.NumSMs; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			firstGrab := true
+			for {
+				task, ok := take()
+				if !ok {
+					return
+				}
+				if !firstGrab {
+					steals.Add(1) // subsequent grabs model stealing leftover roots
+				}
+				firstGrab = false
+				// DFS from this prefix with an explicit per-warp stack
+				stack := [][]graph.V{task}
+				for len(stack) > 0 {
+					prefix := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if len(prefix) == k {
+						count.Add(1)
+						continue
+					}
+					cands := plan.CandidatesForPrefix(g, prefix, nil)
+					// warp lanes scan candidates 32 at a time; partial last
+					// group wastes lanes (intra-warp divergence)
+					groups := coalescedTransactions(int64(len(cands)), dev.WarpSize)
+					cycles.Add(groups)
+					if groups > 0 {
+						divloss.Add(groups*int64(dev.WarpSize) - int64(len(cands)))
+					}
+					random.Add(int64(len(cands))) // uncoalesced adjacency probes
+					for _, c := range cands {
+						stack = append(stack, append(append(make([]graph.V, 0, len(prefix)+1), prefix...), c))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	m.WarpCycles = cycles.Load()
+	m.DivergenceLoss = divloss.Load()
+	m.RandomAccesses = random.Load()
+	m.Steals = steals.Load()
+	m.PeakMemory = int64(dev.NumSMs * k) // per-warp stacks only
+	return count.Load(), m
+}
+
+// HybridMatch is the EGSM strategy: run the efficient BFS expansion while
+// device memory permits; when the next level would overflow, fall back to
+// DFS for the remaining query vertices, seeding the per-warp stacks with the
+// current level's partial matches.
+func HybridMatch(g *graph.Graph, plan *match.Plan, dev *Device) (int64, Metrics) {
+	var m Metrics
+	mem := &memTracker{cap: dev.MemorySlots}
+	k := len(plan.Order)
+	if k == 0 {
+		return 0, m
+	}
+	level := [][]graph.V{}
+	roots := plan.CandidatesForPrefix(g, nil, nil)
+	m.MemTransactions += coalescedTransactions(int64(g.NumVertices()), dev.WarpSize)
+	for _, r := range roots {
+		level = append(level, []graph.V{r})
+	}
+	mem.alloc(int64(len(level)))
+	depth := 1
+	for ; depth < k; depth++ {
+		var next [][]graph.V
+		for lo := 0; lo < len(level); lo += dev.WarpSize {
+			hi := lo + dev.WarpSize
+			if hi > len(level) {
+				hi = len(level)
+			}
+			lane := make([]int64, 0, hi-lo)
+			var produced int64
+			for _, prefix := range level[lo:hi] {
+				cands := plan.CandidatesForPrefix(g, prefix, nil)
+				lane = append(lane, int64(len(cands)))
+				produced += int64(len(cands))
+				for _, c := range cands {
+					next = append(next, append(append(make([]graph.V, 0, depth+1), prefix...), c))
+				}
+			}
+			cyc, div := warpCost(lane)
+			m.WarpCycles += cyc
+			m.DivergenceLoss += div
+			m.MemTransactions += coalescedTransactions(produced, dev.WarpSize)
+		}
+		if !mem.alloc(int64(len(next)) * int64(depth+1)) {
+			// memory exhausted: DFS takeover from the current level
+			cnt, dm := dfsFromPrefixes(g, plan, dev, level, k)
+			m.WarpCycles += dm.WarpCycles
+			m.DivergenceLoss += dm.DivergenceLoss
+			m.RandomAccesses += dm.RandomAccesses
+			m.Steals += dm.Steals
+			m.PeakMemory = mem.peak
+			return cnt, m
+		}
+		mem.free(int64(len(level)) * int64(depth))
+		level = next
+	}
+	m.PeakMemory = mem.peak
+	return int64(len(level)), m
+}
+
+// dfsFromPrefixes runs the DFS-warp engine seeded with arbitrary-depth
+// prefixes (EGSM's fallback phase).
+func dfsFromPrefixes(g *graph.Graph, plan *match.Plan, dev *Device, seeds [][]graph.V, k int) (int64, Metrics) {
+	var m Metrics
+	var qmu sync.Mutex
+	queue := append([][]graph.V(nil), seeds...)
+	take := func() ([]graph.V, bool) {
+		qmu.Lock()
+		defer qmu.Unlock()
+		if len(queue) == 0 {
+			return nil, false
+		}
+		t := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		return t, true
+	}
+	var count, cycles, divloss, random, steals atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < dev.NumSMs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			first := true
+			for {
+				task, ok := take()
+				if !ok {
+					return
+				}
+				if !first {
+					steals.Add(1)
+				}
+				first = false
+				stack := [][]graph.V{task}
+				for len(stack) > 0 {
+					prefix := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if len(prefix) == k {
+						count.Add(1)
+						continue
+					}
+					cands := plan.CandidatesForPrefix(g, prefix, nil)
+					groups := coalescedTransactions(int64(len(cands)), dev.WarpSize)
+					cycles.Add(groups)
+					if groups > 0 {
+						divloss.Add(groups*int64(dev.WarpSize) - int64(len(cands)))
+					}
+					random.Add(int64(len(cands)))
+					for _, c := range cands {
+						stack = append(stack, append(append(make([]graph.V, 0, len(prefix)+1), prefix...), c))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	m.WarpCycles = cycles.Load()
+	m.DivergenceLoss = divloss.Load()
+	m.RandomAccesses = random.Load()
+	m.Steals = steals.Load()
+	return count.Load(), m
+}

@@ -1,0 +1,197 @@
+package gpusim
+
+import (
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/match"
+)
+
+var (
+	triangle = graph.FromEdges(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}})
+	cycle4   = graph.FromEdges(4, [][2]graph.V{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+)
+
+func bigDevice() *Device {
+	return &Device{NumSMs: 4, WarpSize: 32, MemorySlots: 1 << 30}
+}
+
+func tinyDevice() *Device {
+	return &Device{NumSMs: 4, WarpSize: 32, MemorySlots: 2000}
+}
+
+func TestAllEnginesAgreeWithCPU(t *testing.T) {
+	for seed := int64(0); seed < 2; seed++ {
+		g := gen.ErdosRenyi(80, 600, seed)
+		for _, p := range []*graph.Graph{triangle, cycle4} {
+			plan := match.OptimizedPlan(p)
+			want, _ := match.Count(g, plan, 4)
+			dev := bigDevice()
+			if got, m := BFSMatch(g, plan, dev); got != want || m.OOM {
+				t.Fatalf("BFS: got %d want %d (oom=%v)", got, want, m.OOM)
+			}
+			if got, _ := AIMDMatch(g, plan, dev); got != want {
+				t.Fatalf("AIMD: got %d want %d", got, want)
+			}
+			if got, _ := DFSWarpMatch(g, plan, dev); got != want {
+				t.Fatalf("DFSWarp: got %d want %d", got, want)
+			}
+			if got, _ := HybridMatch(g, plan, dev); got != want {
+				t.Fatalf("Hybrid: got %d want %d", got, want)
+			}
+			assign := make([]int, g.NumVertices())
+			for v := range assign {
+				assign[v] = v % 4
+			}
+			if got, m := PartitionedBFSMatch(g, plan, dev, assign, 4); got != want || m.OOM {
+				t.Fatalf("Partitioned: got %d want %d", got, want)
+			}
+		}
+	}
+}
+
+func TestBFSOOMsWhereOthersSurvive(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 8, 1)
+	plan := match.OptimizedPlan(cycle4)
+	dev := tinyDevice()
+	wantCount, _ := match.Count(g, plan, 4)
+
+	_, mBFS := BFSMatch(g, plan, dev)
+	if !mBFS.OOM {
+		t.Fatalf("expected BFS OOM at %d slots (peak would be large)", dev.MemorySlots)
+	}
+	gotA, mA := AIMDMatch(g, plan, dev)
+	if gotA != wantCount {
+		t.Fatalf("AIMD under memory pressure: got %d want %d", gotA, wantCount)
+	}
+	if mA.HostSpillSlots == 0 {
+		t.Fatal("AIMD should have spilled to host under pressure")
+	}
+	gotD, mD := DFSWarpMatch(g, plan, dev)
+	if gotD != wantCount {
+		t.Fatalf("DFS under memory pressure: got %d want %d", gotD, wantCount)
+	}
+	if mD.PeakMemory > 64*4 {
+		t.Fatalf("DFS peak memory %d should be tiny", mD.PeakMemory)
+	}
+	gotH, _ := HybridMatch(g, plan, dev)
+	if gotH != wantCount {
+		t.Fatalf("Hybrid under memory pressure: got %d want %d", gotH, wantCount)
+	}
+}
+
+func TestHybridAvoidsDFSWhenMemoryAmple(t *testing.T) {
+	g := gen.ErdosRenyi(60, 400, 2)
+	plan := match.OptimizedPlan(triangle)
+	_, m := HybridMatch(g, plan, bigDevice())
+	if m.RandomAccesses != 0 {
+		t.Fatalf("ample memory should keep hybrid in BFS mode, random=%d", m.RandomAccesses)
+	}
+	_, m2 := HybridMatch(g, plan, &Device{NumSMs: 2, WarpSize: 32, MemorySlots: 300})
+	if m2.RandomAccesses == 0 {
+		t.Fatal("tiny memory should force hybrid into DFS phase")
+	}
+}
+
+func TestDFSHasRandomAccessesBFSCoalesced(t *testing.T) {
+	g := gen.ErdosRenyi(60, 400, 3)
+	plan := match.OptimizedPlan(triangle)
+	dev := bigDevice()
+	_, mB := BFSMatch(g, plan, dev)
+	_, mD := DFSWarpMatch(g, plan, dev)
+	if mB.RandomAccesses != 0 {
+		t.Fatal("BFS should be fully coalesced")
+	}
+	if mD.RandomAccesses == 0 {
+		t.Fatal("DFS should have uncoalesced accesses")
+	}
+	if mB.PeakMemory <= mD.PeakMemory {
+		t.Fatalf("BFS peak %d should exceed DFS peak %d", mB.PeakMemory, mD.PeakMemory)
+	}
+}
+
+func TestAIMDChunkAdaptation(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 6, 4)
+	plan := match.OptimizedPlan(triangle)
+	_, m := AIMDMatch(g, plan, bigDevice())
+	if m.ChunkAdjust == 0 {
+		t.Fatal("AIMD should adjust chunk size")
+	}
+	if m.OOM {
+		t.Fatal("AIMD must never OOM")
+	}
+}
+
+func TestPartitionedPeakBelowMonolithic(t *testing.T) {
+	g := gen.BarabasiAlbert(250, 6, 5)
+	plan := match.OptimizedPlan(triangle)
+	dev := bigDevice()
+	_, mono := BFSMatch(g, plan, dev)
+	assign := make([]int, g.NumVertices())
+	for v := range assign {
+		assign[v] = v % 8
+	}
+	cnt, part := PartitionedBFSMatch(g, plan, dev, assign, 8)
+	wantCount, _ := match.Count(g, plan, 4)
+	if cnt != wantCount {
+		t.Fatalf("partitioned count %d want %d", cnt, wantCount)
+	}
+	if part.PeakMemory >= mono.PeakMemory {
+		t.Fatalf("partitioned peak %d should be below monolithic %d", part.PeakMemory, mono.PeakMemory)
+	}
+	if part.HostSpillSlots == 0 {
+		t.Fatal("cross-partition accesses expected")
+	}
+}
+
+func TestWarpCost(t *testing.T) {
+	cyc, div := warpCost([]int64{3, 1, 2})
+	if cyc != 3 || div != 2+1 {
+		t.Fatalf("warpCost = (%d,%d)", cyc, div)
+	}
+	cyc, div = warpCost(nil)
+	if cyc != 0 || div != 0 {
+		t.Fatal("empty warp")
+	}
+}
+
+func TestCoalescedTransactions(t *testing.T) {
+	if coalescedTransactions(0, 32) != 0 {
+		t.Fatal("zero items")
+	}
+	if coalescedTransactions(32, 32) != 1 {
+		t.Fatal("exact warp")
+	}
+	if coalescedTransactions(33, 32) != 2 {
+		t.Fatal("one over")
+	}
+}
+
+func TestMemTracker(t *testing.T) {
+	mt := &memTracker{cap: 100}
+	if !mt.alloc(60) || !mt.alloc(40) {
+		t.Fatal("alloc within cap failed")
+	}
+	if mt.alloc(1) {
+		t.Fatal("alloc over cap succeeded")
+	}
+	mt.free(50)
+	if !mt.alloc(50) {
+		t.Fatal("re-alloc after free failed")
+	}
+	if mt.peak != 100 {
+		t.Fatalf("peak = %d", mt.peak)
+	}
+}
+
+func TestEmptyPatternOnDevice(t *testing.T) {
+	plan := match.NaivePlan(graph.NewBuilder(0, false).Build())
+	g := gen.Clique(5)
+	if c, _ := BFSMatch(g, plan, bigDevice()); c != 0 {
+		t.Fatal("empty pattern matched")
+	}
+	if c, _ := DFSWarpMatch(g, plan, bigDevice()); c != 0 {
+		t.Fatal("empty pattern matched (dfs)")
+	}
+}

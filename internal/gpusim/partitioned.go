@@ -1,0 +1,74 @@
+package gpusim
+
+import (
+	"graphsys/internal/graph"
+	"graphsys/internal/match"
+)
+
+// PartitionedBFSMatch is the PBE/VSGM/SGSI strategy for graphs (or
+// intermediate results) larger than device memory: the vertex set is split
+// into numParts partitions, one partition's root candidates are processed at
+// a time with BFS expansion, and any adjacency access that leaves the loaded
+// partition is charged as a host transfer (Metrics.HostSpillSlots). Device
+// memory is recycled between partitions, so the peak is roughly 1/numParts
+// of monolithic BFS.
+func PartitionedBFSMatch(g *graph.Graph, plan *match.Plan, dev *Device, assign []int, numParts int) (int64, Metrics) {
+	var m Metrics
+	k := len(plan.Order)
+	if k == 0 {
+		return 0, m
+	}
+	allRoots := plan.CandidatesForPrefix(g, nil, nil)
+	m.MemTransactions += coalescedTransactions(int64(g.NumVertices()), dev.WarpSize)
+	var total int64
+	for p := 0; p < numParts; p++ {
+		mem := &memTracker{cap: dev.MemorySlots}
+		var level [][]graph.V
+		for _, r := range allRoots {
+			if assign[r] == p {
+				level = append(level, []graph.V{r})
+			}
+		}
+		mem.alloc(int64(len(level)))
+		for depth := 1; depth < k && len(level) > 0; depth++ {
+			var next [][]graph.V
+			for lo := 0; lo < len(level); lo += dev.WarpSize {
+				hi := lo + dev.WarpSize
+				if hi > len(level) {
+					hi = len(level)
+				}
+				lane := make([]int64, 0, hi-lo)
+				var produced int64
+				for _, prefix := range level[lo:hi] {
+					cands := plan.CandidatesForPrefix(g, prefix, nil)
+					lane = append(lane, int64(len(cands)))
+					produced += int64(len(cands))
+					for _, c := range cands {
+						if assign[c] != p {
+							m.HostSpillSlots++ // boundary fetch from host
+						}
+						next = append(next, append(append(make([]graph.V, 0, depth+1), prefix...), c))
+					}
+				}
+				cyc, div := warpCost(lane)
+				m.WarpCycles += cyc
+				m.DivergenceLoss += div
+				m.MemTransactions += coalescedTransactions(produced, dev.WarpSize)
+			}
+			if !mem.alloc(int64(len(next)) * int64(depth+1)) {
+				m.OOM = true
+				if mem.peak > m.PeakMemory {
+					m.PeakMemory = mem.peak
+				}
+				return 0, m
+			}
+			mem.free(int64(len(level)) * int64(depth))
+			level = next
+		}
+		total += int64(len(level))
+		if mem.peak > m.PeakMemory {
+			m.PeakMemory = mem.peak
+		}
+	}
+	return total, m
+}

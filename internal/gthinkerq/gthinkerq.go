@@ -1,0 +1,258 @@
+// Package gthinkerq implements G-thinkerQ's contribution: interactive ONLINE
+// subgraph querying, where users continually submit subgraph queries with
+// different contents against a loaded big graph, and a shared task-based
+// engine serves them concurrently. Tasks are kept in PER-QUERY queues and
+// workers draw from the queries round-robin, so a long-running query cannot
+// monopolise the pool: short queries interleave fairly and keep low latency —
+// the property BenchmarkTable1_OnlineQuery measures against sequential
+// (offline, one-query-at-a-time) execution.
+package gthinkerq
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/match"
+)
+
+// Query is a handle to a submitted subgraph query.
+type Query struct {
+	ID        int64
+	Pattern   *graph.Graph
+	done      chan struct{}
+	count     atomic.Int64
+	pending   atomic.Int64
+	cancelled atomic.Bool
+	submitted time.Time
+	finished  time.Time
+}
+
+// Cancel marks the query cancelled: its remaining tasks complete as cheap
+// no-ops and Wait returns the partial count. Safe to call concurrently.
+func (q *Query) Cancel() { q.cancelled.Store(true) }
+
+// Cancelled reports whether Cancel was called.
+func (q *Query) Cancelled() bool { return q.cancelled.Load() }
+
+// Wait blocks until the query completes and returns the match count.
+func (q *Query) Wait() int64 {
+	<-q.done
+	return q.count.Load()
+}
+
+// Latency returns the submit-to-completion latency (valid after Wait).
+func (q *Query) Latency() time.Duration { return q.finished.Sub(q.submitted) }
+
+// Count returns the current (possibly partial) match count.
+func (q *Query) Count() int64 { return q.count.Load() }
+
+type task struct {
+	q      *Query
+	plan   *match.Plan
+	prefix []graph.V
+}
+
+// Server is a shared-pool online query engine over one data graph. Tasks
+// live in per-query queues; idle workers scan the queries round-robin, which
+// is the fairness mechanism that keeps short queries responsive while heavy
+// ones run.
+type Server struct {
+	g      *graph.Graph
+	nextID atomic.Int64
+	// SplitDepth controls task granularity: prefixes shorter than SplitDepth
+	// spawn one task per extension (enabling interleaving); deeper prefixes
+	// run DFS inline.
+	SplitDepth int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[int64][]task // per-query LIFO stacks
+	ring   []int64          // round-robin order of query ids
+	next   int              // ring cursor
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts a query server with the given worker pool size.
+func NewServer(g *graph.Graph, workers int) *Server {
+	if workers <= 0 {
+		workers = 4
+	}
+	s := &Server{g: g, SplitDepth: 2, queues: map[int64][]task{}}
+	s.cond = sync.NewCond(&s.mu)
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close shuts the server down after all in-flight queries complete. Submit
+// must not be called after (or concurrently with) Close.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit enqueues a subgraph query (counting matches of pattern) and returns
+// immediately.
+func (s *Server) Submit(pattern *graph.Graph) *Query {
+	q := &Query{
+		ID:        s.nextID.Add(1),
+		Pattern:   pattern,
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	if pattern.NumVertices() == 0 {
+		q.finished = time.Now()
+		close(q.done)
+		return q
+	}
+	plan := match.OptimizedPlan(pattern)
+	// one root task per feasible first-vertex binding
+	roots := plan.CandidatesForPrefix(s.g, nil, nil)
+	if len(roots) == 0 {
+		q.finished = time.Now()
+		close(q.done)
+		return q
+	}
+	q.pending.Add(int64(len(roots)))
+	tasks := make([]task, 0, len(roots))
+	for _, r := range roots {
+		tasks = append(tasks, task{q: q, plan: plan, prefix: []graph.V{r}})
+	}
+	s.mu.Lock()
+	s.queues[q.ID] = tasks
+	s.ring = append(s.ring, q.ID)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return q
+}
+
+// take pops one task, rotating across queries for fairness. Blocks until a
+// task is available or the server closes.
+func (s *Server) take() (task, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for i := 0; i < len(s.ring); i++ {
+			idx := (s.next + i) % len(s.ring)
+			id := s.ring[idx]
+			queue := s.queues[id]
+			if len(queue) == 0 {
+				continue
+			}
+			t := queue[len(queue)-1]
+			s.queues[id] = queue[:len(queue)-1]
+			s.next = (idx + 1) % len(s.ring)
+			return t, true
+		}
+		// no runnable task: compact the ring of drained, finished queries
+		s.compactLocked()
+		if s.closed {
+			return task{}, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// compactLocked drops queries whose queues are empty and whose work is done.
+func (s *Server) compactLocked() {
+	kept := s.ring[:0]
+	for _, id := range s.ring {
+		if len(s.queues[id]) > 0 {
+			kept = append(kept, id)
+			continue
+		}
+		delete(s.queues, id)
+	}
+	s.ring = kept
+	if len(s.ring) == 0 {
+		s.next = 0
+	} else {
+		s.next %= len(s.ring)
+	}
+}
+
+// enqueue appends child tasks for an existing query.
+func (s *Server) enqueue(ts []task) {
+	if len(ts) == 0 {
+		return
+	}
+	id := ts[0].q.ID
+	s.mu.Lock()
+	if _, ok := s.queues[id]; !ok {
+		s.ring = append(s.ring, id)
+	}
+	s.queues[id] = append(s.queues[id], ts...)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		t, ok := s.take()
+		if !ok {
+			return
+		}
+		s.execute(t)
+	}
+}
+
+func (s *Server) execute(t task) {
+	if t.q.cancelled.Load() {
+		s.finish(t.q) // drain the task without doing work
+		return
+	}
+	k := len(t.plan.Order)
+	if len(t.prefix) == k {
+		t.q.count.Add(1)
+		s.finish(t.q)
+		return
+	}
+	cands := t.plan.CandidatesForPrefix(s.g, t.prefix, nil)
+	if len(t.prefix) < s.SplitDepth {
+		// fine-grained: spawn one task per extension so other queries' tasks
+		// interleave on the shared pool
+		if len(cands) > 0 {
+			t.q.pending.Add(int64(len(cands)))
+			children := make([]task, 0, len(cands))
+			for _, c := range cands {
+				child := append(append(make([]graph.V, 0, len(t.prefix)+1), t.prefix...), c)
+				children = append(children, task{q: t.q, plan: t.plan, prefix: child})
+			}
+			s.enqueue(children)
+		}
+		s.finish(t.q)
+		return
+	}
+	// coarse: DFS inline without further task creation
+	var dfs func(prefix []graph.V)
+	dfs = func(prefix []graph.V) {
+		if len(prefix) == k {
+			t.q.count.Add(1)
+			return
+		}
+		for _, c := range t.plan.CandidatesForPrefix(s.g, prefix, nil) {
+			dfs(append(prefix, c))
+		}
+	}
+	for _, c := range cands {
+		dfs(append(append(make([]graph.V, 0, k), t.prefix...), c))
+	}
+	s.finish(t.q)
+}
+
+// finish decrements the query's pending-task count, completing it at zero.
+func (s *Server) finish(q *Query) {
+	if q.pending.Add(-1) == 0 {
+		q.finished = time.Now()
+		close(q.done)
+	}
+}

@@ -1,0 +1,120 @@
+package gthinkerq
+
+import (
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/match"
+)
+
+var (
+	triangle = graph.FromEdges(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}})
+	edge     = graph.FromEdges(2, [][2]graph.V{{0, 1}})
+	clique5  = gen.Clique(5)
+)
+
+func TestQueryCountsMatchOffline(t *testing.T) {
+	g := gen.ErdosRenyi(80, 600, 1)
+	s := NewServer(g, 4)
+	defer s.Close()
+	for _, p := range []*graph.Graph{edge, triangle} {
+		want, _ := match.Count(g, match.OptimizedPlan(p), 4)
+		got := s.Submit(p).Wait()
+		if got != want {
+			t.Fatalf("online count %d, offline %d", got, want)
+		}
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	g := gen.BarabasiAlbert(300, 5, 2)
+	s := NewServer(g, 8)
+	defer s.Close()
+	// submit a burst of queries of mixed weight
+	var queries []*Query
+	for i := 0; i < 10; i++ {
+		p := edge
+		if i%2 == 0 {
+			p = triangle
+		}
+		queries = append(queries, s.Submit(p))
+	}
+	wantEdge, _ := match.Count(g, match.OptimizedPlan(edge), 4)
+	wantTri, _ := match.Count(g, match.OptimizedPlan(triangle), 4)
+	for i, q := range queries {
+		got := q.Wait()
+		want := wantEdge
+		if i%2 == 0 {
+			want = wantTri
+		}
+		if got != want {
+			t.Fatalf("query %d: got %d want %d", i, got, want)
+		}
+		if q.Latency() <= 0 {
+			t.Fatalf("query %d: nonpositive latency", i)
+		}
+	}
+}
+
+func TestHeavyQueryDoesNotBlockLight(t *testing.T) {
+	g := gen.BarabasiAlbert(800, 10, 3)
+	s := NewServer(g, 4)
+	defer s.Close()
+	heavy := s.Submit(clique5) // expensive on a dense hub graph
+	light := s.Submit(edge)
+	light.Wait()
+	// the light query must complete; if it had to wait for the heavy one
+	// this would take far longer (covered quantitatively in the benchmark)
+	if light.Count() == 0 {
+		t.Fatal("light query found nothing")
+	}
+	heavy.Wait()
+}
+
+func TestEmptyAndUnmatchablePatterns(t *testing.T) {
+	g := gen.Grid(4, 4)
+	s := NewServer(g, 2)
+	defer s.Close()
+	if got := s.Submit(graph.NewBuilder(0, false).Build()).Wait(); got != 0 {
+		t.Fatalf("empty pattern count %d", got)
+	}
+	// triangle in a grid: no roots survive at depth 2+, count 0
+	if got := s.Submit(triangle).Wait(); got != 0 {
+		t.Fatalf("triangle in grid = %d", got)
+	}
+	// pattern needing degree 5 in a grid (max degree 4): no feasible roots
+	star5 := graph.FromEdges(6, [][2]graph.V{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}})
+	if got := s.Submit(star5).Wait(); got != 0 {
+		t.Fatalf("star5 in grid = %d", got)
+	}
+}
+
+func TestSplitDepthZeroStillCorrect(t *testing.T) {
+	g := gen.ErdosRenyi(50, 300, 4)
+	s := NewServer(g, 3)
+	s.SplitDepth = 0 // pure DFS per root task
+	defer s.Close()
+	want, _ := match.Count(g, match.OptimizedPlan(triangle), 4)
+	if got := s.Submit(triangle).Wait(); got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func TestQueryCancellation(t *testing.T) {
+	g := gen.BarabasiAlbert(1500, 12, 7)
+	s := NewServer(g, 2)
+	defer s.Close()
+	heavy := s.Submit(gen.Clique(5))
+	heavy.Cancel()
+	// the query must still complete (tasks drain as no-ops)
+	heavy.Wait()
+	if !heavy.Cancelled() {
+		t.Fatal("cancel flag lost")
+	}
+	// the server keeps serving other queries afterwards
+	light := s.Submit(triangle)
+	if light.Wait() == 0 {
+		t.Fatal("server unusable after cancellation")
+	}
+}

@@ -1,0 +1,78 @@
+package match
+
+import "graphsys/internal/graph"
+
+// CandidatesForPrefix returns the feasible data-vertex candidates for order
+// position len(prefix), where prefix[j] is the data vertex bound to plan
+// position j. Candidates are appended to dst (which may be nil). This is the
+// plan-execution primitive shared with the simulated-GPU matchers in
+// internal/gpusim.
+func (plan *Plan) CandidatesForPrefix(g *graph.Graph, prefix []graph.V, dst []graph.V) []graph.V {
+	i := len(prefix)
+	pv := plan.Order[i]
+	var anchors []graph.V
+	for _, w := range plan.Pattern.Neighbors(pv) {
+		for j := 0; j < i; j++ {
+			if plan.Order[j] == w {
+				anchors = append(anchors, prefix[j])
+			}
+		}
+	}
+	feasible := func(dv graph.V) bool {
+		p := plan.Pattern
+		if p.HasLabels() && p.Label(pv) != g.Label(dv) {
+			return false
+		}
+		if g.Degree(dv) < p.Degree(pv) {
+			return false
+		}
+		for _, u := range prefix {
+			if u == dv {
+				return false
+			}
+		}
+		for _, earlier := range plan.Restrict[i] {
+			if prefix[earlier] >= dv {
+				return false
+			}
+		}
+		if p.HasEdgeLabels() {
+			for _, w := range p.Neighbors(pv) {
+				for j := 0; j < i; j++ {
+					if plan.Order[j] == w {
+						if p.EdgeLabel(pv, w) != g.EdgeLabel(dv, prefix[j]) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		if plan.Induced {
+			for j := 0; j < i; j++ {
+				w := plan.Order[j]
+				if !p.HasEdge(pv, w) && g.HasEdge(dv, prefix[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if len(anchors) == 0 {
+		for v := 0; v < g.NumVertices(); v++ {
+			if feasible(graph.V(v)) {
+				dst = append(dst, graph.V(v))
+			}
+		}
+		return dst
+	}
+	cands := g.Neighbors(anchors[0])
+	for _, a := range anchors[1:] {
+		cands = graph.Intersect(cands, g.Neighbors(a), make([]graph.V, 0, len(cands)))
+	}
+	for _, dv := range cands {
+		if feasible(dv) {
+			dst = append(dst, dv)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,218 @@
+package match
+
+import (
+	"sort"
+	"sync"
+
+	"graphsys/internal/graph"
+)
+
+// Stats meters the work a plan execution performs; TreeNodes is the
+// search-tree size that matching-order optimisation (GraphPi/AutoMine)
+// minimises.
+type Stats struct {
+	TreeNodes  int64 // backtracking nodes expanded
+	Candidates int64 // candidate vertices scanned
+	Matches    int64 // complete matches found
+}
+
+// Count returns the number of matches of plan's pattern in g. With an
+// OptimizedPlan each subgraph instance is counted once; with Naive/Greedy
+// plans each instance is counted once per automorphism.
+func Count(g *graph.Graph, plan *Plan, workers int) (int64, Stats) {
+	var stats Stats
+	Enumerate(g, plan, workers, func(m []graph.V) bool { return true }, &stats)
+	return stats.Matches, stats
+}
+
+// Enumerate finds all matches of plan's pattern in g, invoking fn with the
+// mapping (indexed by pattern vertex id, not order position). fn must not
+// retain the slice; return false to stop early (best-effort across workers).
+// Root candidates are split across workers.
+func Enumerate(g *graph.Graph, plan *Plan, workers int, fn func(mapping []graph.V) bool, stats *Stats) {
+	if workers <= 0 {
+		workers = 4
+	}
+	k := plan.Pattern.NumVertices()
+	if k == 0 {
+		return
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	n := g.NumVertices()
+	first := plan.Order[0]
+	var wg sync.WaitGroup
+	var mu sync.Mutex // serialises fn and stats merging
+	stop := false
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			e := &executor{
+				g: g, plan: plan,
+				mapping: make([]graph.V, k),
+				usedPos: make([]graph.V, 0, k),
+			}
+			for v := lo; v < hi; v++ {
+				mu.Lock()
+				st := stop
+				mu.Unlock()
+				if st {
+					return
+				}
+				dv := graph.V(v)
+				e.stats.Candidates++
+				if !e.feasible(first, dv, 0) {
+					continue
+				}
+				e.mapping[first] = dv
+				e.usedPos = append(e.usedPos, dv)
+				e.extend(1, func(m []graph.V) bool {
+					mu.Lock()
+					defer mu.Unlock()
+					if stop {
+						return false
+					}
+					if !fn(m) {
+						stop = true
+						return false
+					}
+					return true
+				})
+				e.usedPos = e.usedPos[:0]
+			}
+			mu.Lock()
+			stats.TreeNodes += e.stats.TreeNodes
+			stats.Candidates += e.stats.Candidates
+			stats.Matches += e.stats.Matches
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+type executor struct {
+	g       *graph.Graph
+	plan    *Plan
+	mapping []graph.V // pattern vertex -> data vertex
+	usedPos []graph.V // data vertices used so far (small linear-scan set)
+	stats   Stats
+}
+
+// feasible checks label, degree, distinctness and symmetry restrictions for
+// binding pattern vertex pv (at order position posIdx) to data vertex dv.
+func (e *executor) feasible(pv, dv graph.V, posIdx int) bool {
+	p := e.plan.Pattern
+	if p.HasLabels() && p.Label(pv) != e.g.Label(dv) {
+		return false
+	}
+	if e.g.Degree(dv) < p.Degree(pv) {
+		return false
+	}
+	for _, u := range e.usedPos {
+		if u == dv {
+			return false
+		}
+	}
+	for _, earlier := range e.plan.Restrict[posIdx] {
+		if e.mapping[e.plan.Order[earlier]] >= dv {
+			return false
+		}
+	}
+	if p.HasEdgeLabels() {
+		// edge labels of pattern edges into the already-mapped prefix must
+		// match the corresponding data edges
+		for _, w := range p.Neighbors(pv) {
+			for j := 0; j < posIdx; j++ {
+				if e.plan.Order[j] == w {
+					if p.EdgeLabel(pv, w) != e.g.EdgeLabel(dv, e.mapping[w]) {
+						return false
+					}
+				}
+			}
+		}
+	}
+	if e.plan.Induced {
+		// pattern non-edges into the prefix must be non-edges in the data
+		for j := 0; j < posIdx; j++ {
+			w := e.plan.Order[j]
+			if !p.HasEdge(pv, w) && e.g.HasEdge(dv, e.mapping[w]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// extend binds order position i and recurses. emit returns false to stop.
+func (e *executor) extend(i int, emit func([]graph.V) bool) bool {
+	e.stats.TreeNodes++
+	plan := e.plan
+	if i == len(plan.Order) {
+		e.stats.Matches++
+		return emit(e.mapping)
+	}
+	pv := plan.Order[i]
+	// candidates: intersect data-adjacency of already-mapped pattern
+	// neighbors of pv; if the prefix is disconnected at pv, fall back to a
+	// full vertex scan (this is what makes naive orders catastrophically
+	// slow — the effect the ordering benchmark shows).
+	var anchors []graph.V
+	for _, w := range plan.Pattern.Neighbors(pv) {
+		for j := 0; j < i; j++ {
+			if plan.Order[j] == w {
+				anchors = append(anchors, e.mapping[w])
+			}
+		}
+	}
+	if len(anchors) == 0 {
+		for v := 0; v < e.g.NumVertices(); v++ {
+			dv := graph.V(v)
+			e.stats.Candidates++
+			if !e.feasible(pv, dv, i) {
+				continue
+			}
+			if !e.bindAndRecurse(pv, dv, i, emit) {
+				return false
+			}
+		}
+		return true
+	}
+	// order anchors by adjacency size, intersect smallest-first
+	sort.Slice(anchors, func(a, b int) bool {
+		return e.g.Degree(anchors[a]) < e.g.Degree(anchors[b])
+	})
+	cands := e.g.Neighbors(anchors[0])
+	for _, a := range anchors[1:] {
+		// fresh buffer per step: cands is iterated below across recursive
+		// calls, so it must not alias a reused scratch buffer
+		cands = graph.Intersect(cands, e.g.Neighbors(a), make([]graph.V, 0, len(cands)))
+	}
+	for _, dv := range cands {
+		e.stats.Candidates++
+		if !e.feasible(pv, dv, i) {
+			continue
+		}
+		if !e.bindAndRecurse(pv, dv, i, emit) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *executor) bindAndRecurse(pv, dv graph.V, i int, emit func([]graph.V) bool) bool {
+	e.mapping[pv] = dv
+	e.usedPos = append(e.usedPos, dv)
+	ok := e.extend(i+1, emit)
+	e.usedPos = e.usedPos[:len(e.usedPos)-1]
+	return ok
+}

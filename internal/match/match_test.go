@@ -1,0 +1,238 @@
+package match
+
+import (
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+)
+
+func pattern(n int, edges [][2]graph.V) *graph.Graph {
+	return graph.FromEdges(n, edges)
+}
+
+var (
+	triangle = pattern(3, [][2]graph.V{{0, 1}, {1, 2}, {0, 2}})
+	wedge    = pattern(3, [][2]graph.V{{0, 1}, {1, 2}})
+	cycle4   = pattern(4, [][2]graph.V{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	k4       = pattern(4, [][2]graph.V{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+)
+
+func TestAutomorphismCounts(t *testing.T) {
+	cases := []struct {
+		p    *graph.Graph
+		want int
+	}{
+		{triangle, 6},
+		{wedge, 2},
+		{cycle4, 8},
+		{k4, 24},
+	}
+	for i, c := range cases {
+		if got := len(Automorphisms(c.p)); got != c.want {
+			t.Errorf("case %d: |Aut|=%d want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestAutomorphismsRespectLabels(t *testing.T) {
+	b := graph.NewBuilder(3, false)
+	b.SetLabel(0, 1) // distinct label breaks the path symmetry
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	p := b.Build()
+	if got := len(Automorphisms(p)); got != 1 {
+		t.Fatalf("labeled path |Aut|=%d want 1", got)
+	}
+}
+
+func TestTriangleCountMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		g := gen.ErdosRenyi(60, 400, seed)
+		want := graph.TriangleCount(g)
+		got, _ := Count(g, OptimizedPlan(triangle), 4)
+		if got != want {
+			t.Fatalf("seed %d: match=%d serial=%d", seed, got, want)
+		}
+	}
+}
+
+func TestSymmetryBreakingFactor(t *testing.T) {
+	g := gen.ErdosRenyi(40, 250, 1)
+	for _, p := range []*graph.Graph{triangle, wedge, cycle4, k4} {
+		opt := OptimizedPlan(p)
+		optCount, _ := Count(g, opt, 4)
+		greedyCount, _ := Count(g, GreedyPlan(p), 4)
+		naiveCount, _ := Count(g, NaivePlan(p), 4)
+		if greedyCount != naiveCount {
+			t.Fatalf("greedy %d != naive %d", greedyCount, naiveCount)
+		}
+		if optCount*int64(opt.NumAut) != greedyCount {
+			t.Fatalf("opt %d × |Aut| %d != unrestricted %d", optCount, opt.NumAut, greedyCount)
+		}
+	}
+}
+
+func TestKnownCounts(t *testing.T) {
+	k6 := gen.Clique(6)
+	if got, _ := Count(k6, OptimizedPlan(k4), 2); got != 15 {
+		t.Fatalf("K4 in K6 = %d want C(6,4)=15", got)
+	}
+	if got, _ := Count(gen.Clique(4), OptimizedPlan(wedge), 2); got != 12 {
+		t.Fatalf("wedges in K4 = %d want 12", got)
+	}
+	if got, _ := Count(gen.Grid(3, 3), OptimizedPlan(cycle4), 2); got != 4 {
+		t.Fatalf("C4 in 3x3 grid = %d want 4", got)
+	}
+	if got, _ := Count(gen.Grid(3, 3), OptimizedPlan(triangle), 2); got != 0 {
+		t.Fatalf("triangles in grid = %d", got)
+	}
+}
+
+func TestLabeledMatching(t *testing.T) {
+	// data: labeled triangle 0(A)-1(B)-2(A)
+	b := graph.NewBuilder(3, false)
+	b.SetLabel(0, 1)
+	b.SetLabel(1, 2)
+	b.SetLabel(2, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	// pattern: edge A-B
+	pb := graph.NewBuilder(2, false)
+	pb.SetLabel(0, 1)
+	pb.SetLabel(1, 2)
+	pb.AddEdge(0, 1)
+	p := pb.Build()
+	got, _ := Count(g, OptimizedPlan(p), 1)
+	if got != 2 { // edges (0,1) and (2,1)
+		t.Fatalf("labeled edge matches = %d want 2", got)
+	}
+	// pattern A-A matches edge (0,2) only
+	pb2 := graph.NewBuilder(2, false)
+	pb2.SetLabel(0, 1)
+	pb2.SetLabel(1, 1)
+	pb2.AddEdge(0, 1)
+	got2, _ := Count(g, OptimizedPlan(pb2.Build()), 1)
+	if got2 != 1 {
+		t.Fatalf("A-A matches = %d want 1", got2)
+	}
+}
+
+func TestEnumerateMappingsAreValid(t *testing.T) {
+	g := gen.ErdosRenyi(30, 150, 2)
+	plan := OptimizedPlan(triangle)
+	Enumerate(g, plan, 2, func(m []graph.V) bool {
+		if !g.HasEdge(m[0], m[1]) || !g.HasEdge(m[1], m[2]) || !g.HasEdge(m[0], m[2]) {
+			t.Errorf("invalid triangle mapping %v", m)
+			return false
+		}
+		return true
+	}, nil)
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	g := gen.Clique(20)
+	calls := 0
+	Enumerate(g, OptimizedPlan(triangle), 1, func(m []graph.V) bool {
+		calls++
+		return calls < 5
+	}, nil)
+	if calls != 5 {
+		t.Fatalf("early stop after %d calls", calls)
+	}
+}
+
+func TestOrderingReducesTreeNodes(t *testing.T) {
+	// pattern whose naive (id) order starts with a disconnected prefix:
+	// vertices 0,1 not adjacent → naive order scans all data vertices at
+	// level 1.
+	p := pattern(4, [][2]graph.V{{0, 2}, {1, 2}, {2, 3}, {0, 3}, {1, 3}})
+	g := gen.BarabasiAlbert(400, 4, 5)
+	naive := NaivePlan(p)
+	greedy := GreedyPlan(p)
+	nNaive, sNaive := Count(g, naive, 4)
+	nGreedy, sGreedy := Count(g, greedy, 4)
+	if nNaive != nGreedy {
+		t.Fatalf("counts differ: %d vs %d", nNaive, nGreedy)
+	}
+	if sGreedy.Candidates >= sNaive.Candidates {
+		t.Fatalf("greedy order should scan fewer candidates: %d vs %d",
+			sGreedy.Candidates, sNaive.Candidates)
+	}
+}
+
+func TestGreedyPlanOrderIsConnected(t *testing.T) {
+	p := pattern(5, [][2]graph.V{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	plan := GreedyPlan(p)
+	seen := map[graph.V]bool{plan.Order[0]: true}
+	for _, v := range plan.Order[1:] {
+		connected := false
+		for _, w := range p.Neighbors(v) {
+			if seen[w] {
+				connected = true
+			}
+		}
+		if !connected {
+			t.Fatalf("order %v has disconnected prefix at %d", plan.Order, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestEmptyPattern(t *testing.T) {
+	p := graph.NewBuilder(0, false).Build()
+	got, _ := Count(gen.Clique(4), NaivePlan(p), 2)
+	if got != 0 {
+		t.Fatalf("empty pattern matched %d", got)
+	}
+}
+
+func TestSingleVertexPattern(t *testing.T) {
+	p := graph.NewBuilder(1, false).Build()
+	got, _ := Count(gen.Clique(5), OptimizedPlan(p), 2)
+	if got != 5 {
+		t.Fatalf("single-vertex pattern = %d want 5", got)
+	}
+}
+
+func TestInducedMatching(t *testing.T) {
+	k4g := gen.Clique(4)
+	// induced wedge in K4: none (every vertex pair is adjacent)
+	planW := OptimizedPlan(wedge)
+	planW.Induced = true
+	if got, _ := Count(k4g, planW, 2); got != 0 {
+		t.Fatalf("induced wedges in K4 = %d", got)
+	}
+	// non-induced: 12
+	if got, _ := Count(k4g, OptimizedPlan(wedge), 2); got != 12 {
+		t.Fatal("non-induced count changed")
+	}
+	// star S3: 3 induced wedges through the center
+	star := pattern(4, [][2]graph.V{{0, 1}, {0, 2}, {0, 3}})
+	if got, _ := Count(star, planW, 2); got != 3 {
+		t.Fatalf("induced wedges in S3 = %d", got)
+	}
+	// triangles are induced iff present: counts agree
+	g := gen.ErdosRenyi(50, 300, 9)
+	planT := OptimizedPlan(triangle)
+	planTI := OptimizedPlan(triangle)
+	planTI.Induced = true
+	a, _ := Count(g, planT, 2)
+	b, _ := Count(g, planTI, 2)
+	if a != b {
+		t.Fatalf("triangle induced %d vs plain %d", b, a)
+	}
+	// induced C4 in a diamond (C4 + chord): 0; plain: 1
+	diamond := pattern(4, [][2]graph.V{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	planC := OptimizedPlan(cycle4)
+	planCI := OptimizedPlan(cycle4)
+	planCI.Induced = true
+	if got, _ := Count(diamond, planC, 1); got != 1 {
+		t.Fatalf("plain C4 in diamond = %d", got)
+	}
+	if got, _ := Count(diamond, planCI, 1); got != 0 {
+		t.Fatalf("induced C4 in diamond = %d", got)
+	}
+}

@@ -1,0 +1,311 @@
+// Package nn provides the neural-network building blocks for GNN training:
+// parameterised layers with explicit forward/backward passes, classification
+// and regression losses, and SGD/Adam optimisers. Gradients are exact (each
+// layer's backward is validated against numerical differentiation in tests),
+// which is what lets the distributed-training experiments in internal/gnndist
+// attribute accuracy differences to staleness/quantisation rather than to a
+// sloppy autograd.
+package nn
+
+import (
+	"math"
+
+	"graphsys/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	W    *tensor.Matrix
+	Grad *tensor.Matrix
+}
+
+// NewParam wraps a weight matrix.
+func NewParam(w *tensor.Matrix) *Param {
+	return &Param{W: w, Grad: tensor.New(w.Rows, w.Cols)}
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Dense is a fully connected layer Y = X·W + b.
+type Dense struct {
+	W *Param
+	B *Param
+
+	x *tensor.Matrix // cached input
+}
+
+// NewDense creates a Dense layer with Xavier-initialised weights.
+func NewDense(in, out int, seed int64) *Dense {
+	return &Dense{
+		W: NewParam(tensor.Xavier(in, out, seed)),
+		B: NewParam(tensor.New(1, out)),
+	}
+}
+
+// Forward computes X·W + b, caching X for the backward pass.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	d.x = x
+	y := tensor.MatMul(x, d.W.W)
+	y.AddRowVector(d.B.W.Row(0))
+	return y
+}
+
+// Backward accumulates dW, dB and returns dX.
+func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	d.W.Grad.AddInPlace(tensor.MatMulT1(d.x, dy))
+	bg := d.B.Grad.Row(0)
+	for i := 0; i < dy.Rows; i++ {
+		r := dy.Row(i)
+		for j := range r {
+			bg[j] += r[j]
+		}
+	}
+	return tensor.MatMulT2(dy, d.W.W)
+}
+
+// Params returns the layer's trainable parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ReLU activation.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward applies max(0, x).
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	r.mask = make([]bool, len(x.Data))
+	out := x.Clone()
+	for i, v := range x.Data {
+		if v <= 0 {
+			out.Data[i] = 0
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward gates the upstream gradient.
+func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	out := dy.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes mean cross-entropy loss over rows given
+// integer class labels, and the gradient w.r.t. the logits. Rows with
+// label < 0 are masked out (e.g. non-training vertices in full-graph GNN
+// training).
+func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.Matrix) {
+	grad := tensor.New(logits.Rows, logits.Cols)
+	var loss float64
+	n := 0
+	for i := 0; i < logits.Rows; i++ {
+		if labels[i] < 0 {
+			continue
+		}
+		n++
+	}
+	if n == 0 {
+		return 0, grad
+	}
+	inv := float32(1.0 / float64(n))
+	for i := 0; i < logits.Rows; i++ {
+		y := labels[i]
+		if y < 0 {
+			continue
+		}
+		row := logits.Row(i)
+		// stable softmax
+		max := row[0]
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		var sum float64
+		exps := make([]float64, len(row))
+		for j, v := range row {
+			exps[j] = math.Exp(float64(v - max))
+			sum += exps[j]
+		}
+		loss += -math.Log(exps[y]/sum + 1e-12)
+		g := grad.Row(i)
+		for j := range row {
+			p := float32(exps[j] / sum)
+			if j == y {
+				p -= 1
+			}
+			g[j] = p * inv
+		}
+	}
+	return loss / float64(n), grad
+}
+
+// Accuracy returns the fraction of rows whose argmax equals the label,
+// considering only rows with label ≥ 0 and (if mask is non-nil) mask true.
+func Accuracy(logits *tensor.Matrix, labels []int, mask []bool) float64 {
+	correct, total := 0, 0
+	for i := 0; i < logits.Rows; i++ {
+		if labels[i] < 0 || (mask != nil && !mask[i]) {
+			continue
+		}
+		row := logits.Row(i)
+		arg := 0
+		for j, v := range row {
+			if v > row[arg] {
+				arg = j
+			}
+		}
+		if arg == labels[i] {
+			correct++
+		}
+		total++
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step applies one update and zeroes gradients.
+func (o *SGD) Step(params []*Param) {
+	for _, p := range params {
+		for i := range p.W.Data {
+			g := p.Grad.Data[i] + float32(o.WeightDecay)*p.W.Data[i]
+			p.W.Data[i] -= float32(o.LR) * g
+		}
+		p.ZeroGrad()
+	}
+}
+
+// Adam optimiser (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t int
+	m map[*Param]*tensor.Matrix
+	v map[*Param]*tensor.Matrix
+}
+
+// NewAdam creates an Adam optimiser with standard defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: map[*Param]*tensor.Matrix{}, v: map[*Param]*tensor.Matrix{}}
+}
+
+// Step applies one Adam update and zeroes gradients.
+func (o *Adam) Step(params []*Param) {
+	o.t++
+	c1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	c2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for _, p := range params {
+		m, ok := o.m[p]
+		if !ok {
+			m = tensor.New(p.W.Rows, p.W.Cols)
+			o.m[p] = m
+			o.v[p] = tensor.New(p.W.Rows, p.W.Cols)
+		}
+		v := o.v[p]
+		for i := range p.W.Data {
+			g := float64(p.Grad.Data[i])
+			m.Data[i] = float32(o.Beta1*float64(m.Data[i]) + (1-o.Beta1)*g)
+			v.Data[i] = float32(o.Beta2*float64(v.Data[i]) + (1-o.Beta2)*g*g)
+			mh := float64(m.Data[i]) / c1
+			vh := float64(v.Data[i]) / c2
+			p.W.Data[i] -= float32(o.LR * mh / (math.Sqrt(vh) + o.Eps))
+		}
+		p.ZeroGrad()
+	}
+}
+
+// MSE computes the mean squared error between predictions and targets (both
+// rows×cols) and the gradient w.r.t. the predictions.
+func MSE(pred *tensor.Matrix, target *tensor.Matrix) (float64, *tensor.Matrix) {
+	if pred.Rows != target.Rows || pred.Cols != target.Cols {
+		panic("nn: MSE shape mismatch")
+	}
+	grad := tensor.New(pred.Rows, pred.Cols)
+	if len(pred.Data) == 0 {
+		return 0, grad
+	}
+	var loss float64
+	inv := 2 / float64(len(pred.Data))
+	for i := range pred.Data {
+		d := float64(pred.Data[i]) - float64(target.Data[i])
+		loss += d * d
+		grad.Data[i] = float32(d * inv)
+	}
+	return loss / float64(len(pred.Data)), grad
+}
+
+// Dropout zeroes each activation with probability P during training and
+// scales the survivors by 1/(1-P) (inverted dropout); Eval mode is the
+// identity. The mask is drawn from a deterministic seed sequence so runs are
+// reproducible.
+type Dropout struct {
+	P    float64
+	Eval bool
+	seed uint64
+	mask []bool
+}
+
+// NewDropout creates a dropout layer with drop probability p.
+func NewDropout(p float64, seed int64) *Dropout {
+	return &Dropout{P: p, seed: uint64(seed)*2862933555777941757 + 3037000493}
+}
+
+func (d *Dropout) next() float64 {
+	d.seed ^= d.seed << 13
+	d.seed ^= d.seed >> 7
+	d.seed ^= d.seed << 17
+	return float64(d.seed%1_000_000) / 1_000_000
+}
+
+// Forward applies dropout (or identity in Eval mode).
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if d.Eval || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	out := x.Clone()
+	d.mask = make([]bool, len(x.Data))
+	scale := float32(1 / (1 - d.P))
+	for i := range out.Data {
+		if d.next() < d.P {
+			out.Data[i] = 0
+		} else {
+			d.mask[i] = true
+			out.Data[i] *= scale
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient through the dropout mask.
+func (d *Dropout) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return dy
+	}
+	out := dy.Clone()
+	scale := float32(1 / (1 - d.P))
+	for i := range out.Data {
+		if d.mask[i] {
+			out.Data[i] *= scale
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"graphsys/internal/tensor"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := NewDense(2, 1, 1)
+	d.W.W.Set(0, 0, 2)
+	d.W.W.Set(1, 0, 3)
+	d.B.W.Set(0, 0, 1)
+	x := tensor.FromRows([][]float32{{1, 1}, {2, 0}})
+	y := d.Forward(x)
+	if y.At(0, 0) != 6 || y.At(1, 0) != 5 {
+		t.Fatalf("dense forward: %v", y.Data)
+	}
+}
+
+func TestDenseBackwardShapes(t *testing.T) {
+	d := NewDense(3, 2, 1)
+	x := tensor.Xavier(5, 3, 2)
+	y := d.Forward(x)
+	dx := d.Backward(y)
+	if dx.Rows != 5 || dx.Cols != 3 {
+		t.Fatal("dx shape")
+	}
+	if d.W.Grad.Norm() == 0 || d.B.Grad.Norm() == 0 {
+		t.Fatal("grads not accumulated")
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	x := tensor.FromRows([][]float32{{-1, 2}})
+	y := r.Forward(x)
+	if y.At(0, 0) != 0 || y.At(0, 1) != 2 {
+		t.Fatal("relu forward")
+	}
+	dy := tensor.FromRows([][]float32{{5, 7}})
+	dx := r.Backward(dy)
+	if dx.At(0, 0) != 0 || dx.At(0, 1) != 7 {
+		t.Fatal("relu backward")
+	}
+}
+
+func TestSGDMinimizesQuadratic(t *testing.T) {
+	// minimize (w-3)^2 via gradient 2(w-3)
+	p := NewParam(tensor.New(1, 1))
+	opt := &SGD{LR: 0.1}
+	for i := 0; i < 200; i++ {
+		p.Grad.Set(0, 0, 2*(p.W.At(0, 0)-3))
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(float64(p.W.At(0, 0))-3) > 1e-3 {
+		t.Fatalf("w = %f", p.W.At(0, 0))
+	}
+}
+
+func TestAdamMinimizesQuadratic(t *testing.T) {
+	p := NewParam(tensor.New(1, 2))
+	p.W.Set(0, 0, 10)
+	p.W.Set(0, 1, -10)
+	opt := NewAdam(0.3)
+	target := []float32{3, -4}
+	for i := 0; i < 400; i++ {
+		for j := 0; j < 2; j++ {
+			p.Grad.Set(0, j, 2*(p.W.At(0, j)-target[j]))
+		}
+		opt.Step([]*Param{p})
+	}
+	for j := 0; j < 2; j++ {
+		if math.Abs(float64(p.W.At(0, j)-target[j])) > 1e-2 {
+			t.Fatalf("w[%d] = %f", j, p.W.At(0, j))
+		}
+	}
+}
+
+func TestSGDWeightDecayShrinks(t *testing.T) {
+	p := NewParam(tensor.New(1, 1))
+	p.W.Set(0, 0, 1)
+	opt := &SGD{LR: 0.1, WeightDecay: 1}
+	for i := 0; i < 10; i++ {
+		opt.Step([]*Param{p}) // zero gradient: pure decay
+	}
+	w := float64(p.W.At(0, 0))
+	if w >= 1 || w <= 0 {
+		t.Fatalf("decayed weight %f", w)
+	}
+}
+
+func TestAccuracyMasked(t *testing.T) {
+	logits := tensor.FromRows([][]float32{{1, 0}, {0, 1}, {1, 0}})
+	labels := []int{0, 1, 1}
+	if a := Accuracy(logits, labels, nil); math.Abs(a-2.0/3) > 1e-9 {
+		t.Fatalf("acc = %f", a)
+	}
+	mask := []bool{true, true, false}
+	if a := Accuracy(logits, labels, mask); a != 1 {
+		t.Fatalf("masked acc = %f", a)
+	}
+	if a := Accuracy(logits, []int{-1, -1, -1}, nil); a != 0 {
+		t.Fatalf("all-masked acc = %f", a)
+	}
+}
+
+func TestSoftmaxCrossEntropyUniform(t *testing.T) {
+	logits := tensor.New(2, 4) // all zeros → uniform softmax
+	loss, _ := SoftmaxCrossEntropy(logits, []int{0, 3})
+	if math.Abs(loss-math.Log(4)) > 1e-5 {
+		t.Fatalf("uniform loss = %f want ln4", loss)
+	}
+}
+
+func TestMSE(t *testing.T) {
+	pred := tensor.FromRows([][]float32{{1, 2}})
+	target := tensor.FromRows([][]float32{{0, 4}})
+	loss, grad := MSE(pred, target)
+	if math.Abs(loss-(1+4)/2.0) > 1e-6 {
+		t.Fatalf("mse = %f", loss)
+	}
+	// d/dpred mean((p-t)^2) = 2(p-t)/n
+	if grad.At(0, 0) != 1 || grad.At(0, 1) != -2 {
+		t.Fatalf("grad = %v", grad.Data)
+	}
+}
+
+func TestMSEGradientDescentFits(t *testing.T) {
+	// fit y = 2x with a 1-weight linear model using MSE
+	p := NewParam(tensor.New(1, 1))
+	opt := &SGD{LR: 0.01} // bounded by 2·lr·x² < 1 for stability
+	for i := 0; i < 600; i++ {
+		x := float32(i%5) + 1
+		pred := tensor.FromRows([][]float32{{p.W.At(0, 0) * x}})
+		target := tensor.FromRows([][]float32{{2 * x}})
+		_, g := MSE(pred, target)
+		p.Grad.Set(0, 0, g.At(0, 0)*x)
+		opt.Step([]*Param{p})
+	}
+	if math.Abs(float64(p.W.At(0, 0))-2) > 1e-2 {
+		t.Fatalf("w = %f", p.W.At(0, 0))
+	}
+}
+
+func TestDropout(t *testing.T) {
+	d := NewDropout(0.5, 1)
+	x := tensor.New(10, 100)
+	for i := range x.Data {
+		x.Data[i] = 1
+	}
+	y := d.Forward(x)
+	zeros, scaled := 0, 0
+	for _, v := range y.Data {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			scaled++
+		default:
+			t.Fatalf("unexpected value %f", v)
+		}
+	}
+	if zeros < 300 || zeros > 700 {
+		t.Fatalf("dropout zeroed %d of 1000", zeros)
+	}
+	// backward gates identically
+	dy := x.Clone()
+	dx := d.Backward(dy)
+	for i := range dx.Data {
+		if (y.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("backward mask mismatch")
+		}
+	}
+	// eval mode is identity
+	d.Eval = true
+	y2 := d.Forward(x)
+	if tensor.MaxAbsDiff(y2, x) != 0 {
+		t.Fatal("eval mode not identity")
+	}
+}

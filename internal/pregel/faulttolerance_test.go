@@ -1,0 +1,97 @@
+package pregel
+
+import (
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+)
+
+func TestCheckpointRecoveryCorrectness(t *testing.T) {
+	g := gen.ErdosRenyi(200, 600, 1)
+	want, _ := HashMinCC(g, Config{Workers: 4})
+	// same run with a failure at step 3, recovering from checkpoints every 2
+	prog := ccProgram()
+	res := Run(g, prog, Config{Workers: 4, CheckpointEvery: 2, FailAtStep: 3})
+	for v := range want {
+		if want[v] != res.States[v] {
+			t.Fatalf("vertex %d: %d vs %d after recovery", v, res.States[v], want[v])
+		}
+	}
+	if res.Checkpoints == 0 || res.CheckpointBytes == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+	if res.RecoveredSteps != 1 { // failed at 3, last checkpoint at 2
+		t.Fatalf("recovered %d steps, want 1", res.RecoveredSteps)
+	}
+}
+
+func TestRecoveryWithoutCheckpointRestarts(t *testing.T) {
+	g := gen.ErdosRenyi(150, 450, 2)
+	want, _ := HashMinCC(g, Config{Workers: 4})
+	prog := ccProgram()
+	res := Run(g, prog, Config{Workers: 4, FailAtStep: 3}) // no checkpoints
+	for v := range want {
+		if want[v] != res.States[v] {
+			t.Fatalf("vertex %d wrong after full restart", v)
+		}
+	}
+	if res.RecoveredSteps != 3 {
+		t.Fatalf("full restart should recompute 3 steps, got %d", res.RecoveredSteps)
+	}
+}
+
+func TestCheckpointFrequencyTradeoff(t *testing.T) {
+	g := gen.ErdosRenyi(300, 1200, 3)
+	prog := ccProgram()
+	frequent := Run(g, prog, Config{Workers: 4, CheckpointEvery: 1, FailAtStep: 4})
+	sparse := Run(g, prog, Config{Workers: 4, CheckpointEvery: 4, FailAtStep: 5})
+	// frequent checkpointing writes more but recomputes less — LWCP's trade
+	if frequent.CheckpointBytes <= sparse.CheckpointBytes {
+		t.Fatalf("frequent ckpt bytes %d not above sparse %d",
+			frequent.CheckpointBytes, sparse.CheckpointBytes)
+	}
+	if frequent.RecoveredSteps > sparse.RecoveredSteps {
+		t.Fatalf("frequent ckpt recomputed %d > sparse %d",
+			frequent.RecoveredSteps, sparse.RecoveredSteps)
+	}
+}
+
+func TestNoFaultToleranceOverheadWhenDisabled(t *testing.T) {
+	g := gen.Grid(10, 10)
+	res := Run(g, ccProgram(), Config{Workers: 2})
+	if res.Checkpoints != 0 || res.CheckpointBytes != 0 || res.RecoveredSteps != 0 {
+		t.Fatalf("accounting nonzero with FT disabled: %+v", res)
+	}
+}
+
+// ccProgram is HashMin CC as a raw program (shared by the FT tests).
+func ccProgram() Program[int32, int32] {
+	return Program[int32, int32]{
+		Init: func(g *graph.Graph, v graph.V) int32 { return int32(v) },
+		Compute: func(ctx *Context[int32], v graph.V, state *int32, msgs []int32) {
+			min := *state
+			if ctx.Superstep() == 0 {
+				ctx.SendToNeighbors(v, min)
+				ctx.VoteToHalt()
+				return
+			}
+			for _, m := range msgs {
+				if m < min {
+					min = m
+				}
+			}
+			if min < *state {
+				*state = min
+				ctx.SendToNeighbors(v, min)
+			}
+			ctx.VoteToHalt()
+		},
+		Combine: func(a, b int32) int32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+}

@@ -1,0 +1,328 @@
+// Package pregel implements a think-like-a-vertex (TLAV) graph-parallel
+// engine in the style of Google's Pregel and Pregel+: bulk-synchronous
+// supersteps, per-vertex compute functions, message passing with optional
+// sender-side combiners, global aggregators, and vote-to-halt semantics.
+//
+// The engine runs on the metered cluster runtime, so every cross-worker
+// message is accounted; the paper's point that TLAV systems suit iterative
+// O((|V|+|E|)·log|V|) computations (and not subgraph search) is reproduced by
+// the complexity and triangle-counting benchmarks built on this package.
+package pregel
+
+import (
+	"sync"
+
+	"graphsys/internal/cluster"
+	"graphsys/internal/graph"
+)
+
+// Config controls an engine run.
+type Config struct {
+	Workers       int   // number of simulated workers (default 4)
+	MaxSupersteps int   // safety bound (default 1000)
+	Partition     []int // vertex → worker; nil = hash placement
+	MsgBytes      int64 // metered wire size per message (default 8)
+
+	// Fault tolerance (LWCP-style lightweight checkpointing, Yan et al.
+	// ICPP'19): every CheckpointEvery supersteps the engine snapshots vertex
+	// states, activity flags and delivered messages. FailAtStep > 0 injects
+	// one worker failure at that superstep; the engine rolls back to the
+	// latest checkpoint and recomputes. StateBytes sizes the metered
+	// checkpoint volume (default 8 bytes/vertex).
+	CheckpointEvery int
+	FailAtStep      int
+	StateBytes      int64
+}
+
+func (c *Config) defaults(n int) {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.MaxSupersteps <= 0 {
+		c.MaxSupersteps = 1000
+	}
+	if c.MsgBytes <= 0 {
+		c.MsgBytes = 8
+	}
+	if c.Partition == nil {
+		c.Partition = make([]int, n)
+		for v := 0; v < n; v++ {
+			h := uint64(v) * 0x9e3779b97f4a7c15
+			c.Partition[v] = int(h % uint64(c.Workers))
+		}
+	}
+}
+
+// Program defines a vertex program. S is the vertex state type, M the
+// message type.
+type Program[S, M any] struct {
+	// Init produces the initial state of v. Called once before superstep 0.
+	Init func(g *graph.Graph, v graph.V) S
+	// Compute is called at every superstep for each active vertex (a vertex
+	// is active in superstep 0, and whenever it has incoming messages).
+	Compute func(ctx *Context[M], v graph.V, state *S, msgs []M)
+	// Combine, if non-nil, merges two messages addressed to the same vertex
+	// on the sender side (Pregel's combiner), cutting message volume.
+	Combine func(a, b M) M
+}
+
+// Context is the per-worker handle passed to Compute.
+type Context[M any] struct {
+	eng       engineIface[M]
+	g         *graph.Graph
+	worker    int
+	superstep int
+	halted    bool // set per vertex via VoteToHalt; reset by engine
+
+	outPlain    []vmsg[M]
+	outCombined map[graph.V]M
+	combine     func(a, b M) M
+
+	aggLocal map[string]float64
+}
+
+type vmsg[M any] struct {
+	to graph.V
+	m  M
+}
+
+type engineIface[M any] interface {
+	aggPrev(name string) float64
+}
+
+// Superstep returns the current superstep number (0-based).
+func (c *Context[M]) Superstep() int { return c.superstep }
+
+// Graph returns the input graph.
+func (c *Context[M]) Graph() *graph.Graph { return c.g }
+
+// Send sends m to vertex to, delivered at the next superstep.
+func (c *Context[M]) Send(to graph.V, m M) {
+	if c.combine != nil {
+		if old, ok := c.outCombined[to]; ok {
+			c.outCombined[to] = c.combine(old, m)
+		} else {
+			c.outCombined[to] = m
+		}
+		return
+	}
+	c.outPlain = append(c.outPlain, vmsg[M]{to, m})
+}
+
+// SendToNeighbors sends m to every neighbor of v.
+func (c *Context[M]) SendToNeighbors(v graph.V, m M) {
+	for _, w := range c.g.Neighbors(v) {
+		c.Send(w, m)
+	}
+}
+
+// VoteToHalt deactivates the current vertex until a message re-activates it.
+func (c *Context[M]) VoteToHalt() { c.halted = true }
+
+// Aggregate adds v into the named float-sum aggregator; the total becomes
+// readable via Agg in the NEXT superstep (Pregel semantics).
+func (c *Context[M]) Aggregate(name string, v float64) {
+	c.aggLocal[name] += v
+}
+
+// Agg returns the value of the named aggregator from the previous superstep.
+func (c *Context[M]) Agg(name string) float64 { return c.eng.aggPrev(name) }
+
+// Result of a run.
+type Result[S any] struct {
+	States     []S
+	Supersteps int
+	Net        cluster.Stats
+
+	// Fault-tolerance accounting (zero unless Config enables it).
+	CheckpointBytes int64 // total snapshot volume written
+	Checkpoints     int   // snapshots taken
+	RecoveredSteps  int   // supersteps recomputed after the injected failure
+}
+
+// Run executes prog on g until all vertices halt with no messages in flight,
+// or cfg.MaxSupersteps is reached.
+func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) *Result[S] {
+	n := g.NumVertices()
+	cfg.defaults(n)
+	c := cluster.New(cfg.Workers)
+	net := c.Network()
+
+	eng := &engine[S, M]{agg: map[string]float64{}}
+
+	states := make([]S, n)
+	active := make([]bool, n)
+	owned := make([][]graph.V, cfg.Workers)
+	for v := 0; v < n; v++ {
+		owned[cfg.Partition[v]] = append(owned[cfg.Partition[v]], graph.V(v))
+		active[v] = true
+	}
+	c.Run(func(w int) {
+		for _, v := range owned[w] {
+			if prog.Init != nil {
+				states[v] = prog.Init(g, v)
+			}
+		}
+	})
+
+	mb := cluster.NewMailboxes[vmsg[M]](net, func(vmsg[M]) int64 { return cfg.MsgBytes })
+	// per-vertex message buffers (only the owner worker touches an entry)
+	msgs := make([][]M, n)
+
+	if cfg.StateBytes <= 0 {
+		cfg.StateBytes = 8
+	}
+	// LWCP checkpointing state
+	type snapshot struct {
+		step   int
+		states []S
+		active []bool
+		msgs   [][]M
+	}
+	var ckpt *snapshot
+	var ckptBytes int64
+	var ckptCount int
+	recovered := 0
+	failed := false
+	takeCheckpoint := func(step int) {
+		s := &snapshot{step: step, states: append([]S(nil), states...), active: append([]bool(nil), active...)}
+		s.msgs = make([][]M, n)
+		var msgCount int64
+		for v := range msgs {
+			s.msgs[v] = append([]M(nil), msgs[v]...)
+			msgCount += int64(len(msgs[v]))
+		}
+		ckpt = s
+		ckptBytes += int64(n)*cfg.StateBytes + msgCount*cfg.MsgBytes
+		ckptCount++
+	}
+
+	steps := 0
+	for step := 0; step < cfg.MaxSupersteps; step++ {
+		if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
+			takeCheckpoint(step)
+		}
+		if cfg.FailAtStep > 0 && step == cfg.FailAtStep && !failed {
+			// a worker dies: roll every worker back to the last checkpoint
+			// (synchronous recovery, the Pregel/LWCP model)
+			failed = true
+			if ckpt != nil {
+				copy(states, ckpt.states)
+				copy(active, ckpt.active)
+				for v := range msgs {
+					msgs[v] = append(msgs[v][:0], ckpt.msgs[v]...)
+				}
+				recovered = step - ckpt.step
+				mb.Exchange() // drop in-flight messages from the failed epoch
+				step = ckpt.step
+			} else {
+				// no checkpoint: full restart
+				recovered = step
+				c.Run(func(w int) {
+					for _, v := range owned[w] {
+						if prog.Init != nil {
+							states[v] = prog.Init(g, v)
+						}
+						active[v] = true
+						msgs[v] = msgs[v][:0]
+					}
+				})
+				mb.Exchange()
+				step = 0
+			}
+		}
+		steps = step + 1
+		var anyActive bool
+		for _, a := range active {
+			if a {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			steps = step
+			break
+		}
+		var mu sync.Mutex
+		aggNext := map[string]float64{}
+		c.Run(func(w int) {
+			ctx := &Context[M]{
+				eng: eng, g: g, worker: w, superstep: step,
+				combine:  prog.Combine,
+				aggLocal: map[string]float64{},
+			}
+			if prog.Combine != nil {
+				ctx.outCombined = make(map[graph.V]M)
+			}
+			for _, v := range owned[w] {
+				if !active[v] {
+					continue
+				}
+				ctx.halted = false
+				prog.Compute(ctx, v, &states[v], msgs[v])
+				msgs[v] = msgs[v][:0]
+				if ctx.halted {
+					active[v] = false
+				}
+			}
+			// flush outgoing messages
+			if prog.Combine != nil {
+				for to, m := range ctx.outCombined {
+					mb.Send(w, cfg.Partition[to], vmsg[M]{to, m})
+				}
+			} else {
+				for _, vm := range ctx.outPlain {
+					mb.Send(w, cfg.Partition[vm.to], vm)
+				}
+			}
+			if len(ctx.aggLocal) > 0 {
+				mu.Lock()
+				for k, v := range ctx.aggLocal {
+					aggNext[k] += v
+				}
+				mu.Unlock()
+			}
+		})
+		delivered := mb.Exchange()
+		eng.mu.Lock()
+		eng.agg = aggNext
+		eng.mu.Unlock()
+		if delivered == 0 {
+			// no messages: if nothing re-activates, engine can stop after
+			// letting still-active vertices run next loop iteration
+			stillActive := false
+			for _, a := range active {
+				if a {
+					stillActive = true
+					break
+				}
+			}
+			if !stillActive {
+				break
+			}
+			continue
+		}
+		// demux to per-vertex buffers and reactivate recipients
+		c.Run(func(w int) {
+			for _, vm := range mb.Receive(w) {
+				msgs[vm.to] = append(msgs[vm.to], vm.m)
+				active[vm.to] = true
+			}
+		})
+	}
+	return &Result[S]{
+		States: states, Supersteps: steps, Net: net.Stats(),
+		CheckpointBytes: ckptBytes, Checkpoints: ckptCount, RecoveredSteps: recovered,
+	}
+}
+
+type engine[S, M any] struct {
+	mu  sync.Mutex
+	agg map[string]float64
+}
+
+func (e *engine[S, M]) aggPrev(name string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.agg[name]
+}

@@ -1,0 +1,131 @@
+// Package quegel implements the query-centric TLAV model of Quegel (Zhang,
+// Yan, Cheng — SIGMOD'16 / PVLDB'16), another system of the paper's
+// presenters referenced in §7: many light vertex-centric QUERIES (here:
+// point-to-point shortest paths) execute against one loaded big graph, and
+// instead of paying a full superstep barrier sequence per query, concurrent
+// queries are batched so every superstep serves all in-flight queries at
+// once — superstep-sharing, the system's core idea.
+package quegel
+
+import (
+	"graphsys/internal/cluster"
+	"graphsys/internal/graph"
+	"graphsys/internal/pregel"
+)
+
+// Query asks for the hop distance from Src to Dst.
+type Query struct {
+	Src, Dst graph.V
+}
+
+// Answer is the hop distance (-1 if unreachable).
+type Answer struct {
+	Dist int32
+}
+
+// Stats reports the execution cost of serving a query set.
+type Stats struct {
+	Supersteps int   // total barrier rounds paid
+	Messages   int64 // total messages
+}
+
+type qmsg struct {
+	qid  int32
+	dist int32
+}
+
+// AnswerBatched serves all queries in ONE vertex-centric run: per-vertex
+// state holds one distance per in-flight query, messages are tagged with the
+// query id, and every superstep advances all BFS frontiers together. The
+// barrier count is max(per-query rounds), not the sum — Quegel's
+// superstep-sharing.
+func AnswerBatched(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer, Stats) {
+	prog := pregel.Program[map[int32]int32, qmsg]{
+		Init: func(g *graph.Graph, v graph.V) map[int32]int32 {
+			st := map[int32]int32{}
+			for qi, q := range queries {
+				if q.Src == v {
+					st[int32(qi)] = 0
+				}
+			}
+			return st
+		},
+		Compute: func(ctx *pregel.Context[qmsg], v graph.V, state *map[int32]int32, msgs []qmsg) {
+			if ctx.Superstep() == 0 {
+				for qid, d := range *state {
+					for _, u := range ctx.Graph().Neighbors(v) {
+						ctx.Send(u, qmsg{qid, d + 1})
+					}
+				}
+				ctx.VoteToHalt()
+				return
+			}
+			improved := map[int32]int32{}
+			for _, m := range msgs {
+				if cur, ok := (*state)[m.qid]; !ok || m.dist < cur {
+					(*state)[m.qid] = m.dist
+					if best, seen := improved[m.qid]; !seen || m.dist < best {
+						improved[m.qid] = m.dist
+					}
+				}
+			}
+			for qid, d := range improved {
+				for _, u := range ctx.Graph().Neighbors(v) {
+					ctx.Send(u, qmsg{qid, d + 1})
+				}
+			}
+			ctx.VoteToHalt()
+		},
+	}
+	res := pregel.Run(g, prog, cfg)
+	out := make([]Answer, len(queries))
+	for qi, q := range queries {
+		if d, ok := res.States[q.Dst][int32(qi)]; ok {
+			out[qi] = Answer{Dist: d}
+		} else {
+			out[qi] = Answer{Dist: -1}
+		}
+	}
+	return out, Stats{Supersteps: res.Supersteps, Messages: res.Net.Messages + res.Net.LocalMessages}
+}
+
+// AnswerSequential serves queries one at a time, each paying its own full
+// sequence of supersteps (the offline-TLAV baseline Quegel improves on).
+func AnswerSequential(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer, Stats) {
+	var st Stats
+	out := make([]Answer, len(queries))
+	for qi, q := range queries {
+		dists, res := pregel.SSSP(g, q.Src, cfg)
+		out[qi] = Answer{Dist: dists[q.Dst]}
+		st.Supersteps += res.Supersteps
+		st.Messages += res.Net.Messages + res.Net.LocalMessages
+	}
+	return out, st
+}
+
+// Server is the interactive face: it accumulates queries and serves each
+// batch with one shared run (Quegel's batching window).
+type Server struct {
+	g       *graph.Graph
+	cfg     pregel.Config
+	pending []Query
+	net     cluster.Stats
+}
+
+// NewServer creates a query server over g.
+func NewServer(g *graph.Graph, workers int) *Server {
+	return &Server{g: g, cfg: pregel.Config{Workers: workers}}
+}
+
+// Submit adds a query to the current batch.
+func (s *Server) Submit(q Query) { s.pending = append(s.pending, q) }
+
+// Flush answers the whole pending batch in one shared run.
+func (s *Server) Flush() ([]Answer, Stats) {
+	qs := s.pending
+	s.pending = nil
+	if len(qs) == 0 {
+		return nil, Stats{}
+	}
+	return AnswerBatched(s.g, qs, s.cfg)
+}

@@ -1,0 +1,78 @@
+package quegel
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/pregel"
+)
+
+func TestBatchedMatchesSequential(t *testing.T) {
+	g := gen.ErdosRenyi(300, 900, 1)
+	rng := rand.New(rand.NewSource(2))
+	var queries []Query
+	for i := 0; i < 12; i++ {
+		queries = append(queries, Query{
+			Src: graph.V(rng.Intn(300)), Dst: graph.V(rng.Intn(300)),
+		})
+	}
+	cfg := pregel.Config{Workers: 4}
+	batched, bstats := AnswerBatched(g, queries, cfg)
+	sequential, sstats := AnswerSequential(g, queries, cfg)
+	for i := range queries {
+		if batched[i].Dist != sequential[i].Dist {
+			t.Fatalf("query %d: batched %d vs sequential %d", i, batched[i].Dist, sequential[i].Dist)
+		}
+		// cross-check against serial BFS
+		want := graph.BFSLevels(g, queries[i].Src)[queries[i].Dst]
+		if batched[i].Dist != want {
+			t.Fatalf("query %d: %d, BFS says %d", i, batched[i].Dist, want)
+		}
+	}
+	// superstep sharing: batched rounds = max per-query, not sum
+	if bstats.Supersteps >= sstats.Supersteps/3 {
+		t.Fatalf("batched %d rounds not well below sequential %d", bstats.Supersteps, sstats.Supersteps)
+	}
+}
+
+func TestUnreachableQuery(t *testing.T) {
+	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {2, 3}})
+	ans, _ := AnswerBatched(g, []Query{{Src: 0, Dst: 3}, {Src: 0, Dst: 1}, {Src: 2, Dst: 2}},
+		pregel.Config{Workers: 2})
+	if ans[0].Dist != -1 {
+		t.Fatalf("cross-component distance %d", ans[0].Dist)
+	}
+	if ans[1].Dist != 1 {
+		t.Fatalf("adjacent distance %d", ans[1].Dist)
+	}
+	if ans[2].Dist != 0 {
+		t.Fatalf("self distance %d", ans[2].Dist)
+	}
+}
+
+func TestServerBatching(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 3)
+	s := NewServer(g, 4)
+	s.Submit(Query{Src: 0, Dst: 100})
+	s.Submit(Query{Src: 5, Dst: 150})
+	ans, st := s.Flush()
+	if len(ans) != 2 {
+		t.Fatalf("answers %d", len(ans))
+	}
+	if st.Supersteps == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	for i, q := range []Query{{0, 100}, {5, 150}} {
+		want := graph.BFSLevels(g, q.Src)[q.Dst]
+		if ans[i].Dist != want {
+			t.Fatalf("query %d wrong", i)
+		}
+	}
+	// flush with nothing pending
+	ans2, _ := s.Flush()
+	if ans2 != nil {
+		t.Fatal("empty flush returned answers")
+	}
+}

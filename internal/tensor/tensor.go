@@ -1,0 +1,270 @@
+// Package tensor provides the dense float32 matrix type and operations the
+// GNN training stack is built on — the stand-in for the BLAS/autograd
+// substrate (PyTorch/TensorFlow) used by the surveyed GNN systems. GNN model
+// computation is small dense matrix pipelines (the paper notes GNN models are
+// small compared to DNNs), so a straightforward row-major implementation
+// reproduces the compute structure faithfully.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (all must have equal length).
+func FromRows(rows [][]float32) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("tensor: ragged row %d (%d != %d)", i, len(r), m.Cols))
+		}
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Xavier returns a matrix initialised with Glorot-uniform values,
+// deterministic in seed.
+func Xavier(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := New(rows, cols)
+	limit := float32(math.Sqrt(6.0 / float64(rows+cols)))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float32()*2 - 1) * limit
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a mutable slice view.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets all elements to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// MatMul returns a×b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for k, av := range ar {
+			if av == 0 {
+				continue
+			}
+			br := b.Row(k)
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT1 returns aᵀ×b without materialising the transpose.
+func MatMulT1(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: matmulT1 shape mismatch")
+	}
+	out := New(a.Cols, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		ar, br := a.Row(r), b.Row(r)
+		for i, av := range ar {
+			if av == 0 {
+				continue
+			}
+			or := out.Row(i)
+			for j, bv := range br {
+				or[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT2 returns a×bᵀ without materialising the transpose.
+func MatMulT2(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic("tensor: matmulT2 shape mismatch")
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		ar := a.Row(i)
+		or := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			br := b.Row(j)
+			var s float32
+			for k, av := range ar {
+				s += av * br[k]
+			}
+			or[j] = s
+		}
+	}
+	return out
+}
+
+// T returns the transpose.
+func (m *Matrix) T() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Add returns a+b.
+func Add(a, b *Matrix) *Matrix {
+	sameShape(a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// AddInPlace adds b into a.
+func (m *Matrix) AddInPlace(b *Matrix) {
+	sameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+}
+
+// AddScaled adds scale×b into m.
+func (m *Matrix) AddScaled(b *Matrix, scale float32) {
+	sameShape(m, b)
+	for i, v := range b.Data {
+		m.Data[i] += scale * v
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// AddRowVector adds vector v (length Cols) to every row.
+func (m *Matrix) AddRowVector(v []float32) {
+	if len(v) != m.Cols {
+		panic("tensor: row vector length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		r := m.Row(i)
+		for j := range r {
+			r[j] += v[j]
+		}
+	}
+}
+
+// Apply applies f elementwise, returning a new matrix.
+func (m *Matrix) Apply(f func(float32) float32) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// ConcatCols returns [a | b] (same row count).
+func ConcatCols(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic("tensor: concat row mismatch")
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i)[:a.Cols], a.Row(i))
+		copy(out.Row(i)[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// SplitCols splits m into the first `at` columns and the rest.
+func SplitCols(m *Matrix, at int) (*Matrix, *Matrix) {
+	if at < 0 || at > m.Cols {
+		panic("tensor: split out of range")
+	}
+	a, b := New(m.Rows, at), New(m.Rows, m.Cols-at)
+	for i := 0; i < m.Rows; i++ {
+		copy(a.Row(i), m.Row(i)[:at])
+		copy(b.Row(i), m.Row(i)[at:])
+	}
+	return a, b
+}
+
+// SelectRows returns the submatrix with the given rows (in order).
+func SelectRows(m *Matrix, idx []int) *Matrix {
+	out := New(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Norm returns the Frobenius norm.
+func (m *Matrix) Norm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns max |a_ij - b_ij|.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	sameShape(a, b)
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func sameShape(a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

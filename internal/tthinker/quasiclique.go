@@ -1,0 +1,132 @@
+package tthinker
+
+import (
+	"sort"
+
+	"graphsys/internal/graph"
+)
+
+// A γ-quasi-clique is a vertex set S whose induced subgraph has minimum
+// degree ≥ ⌈γ·(|S|-1)⌉. Quasi-clique mining is the flagship G-thinker
+// application (Guo et al., PVLDB'20: "Scalable Mining of Maximal
+// Quasi-Cliques"); unlike cliques the property is not hereditary, so search
+// cannot prune by the property alone and relies on candidate-degree bounds.
+//
+// Maximality here means single-vertex maximality: no vertex can be added to S
+// keeping the property (the practical output definition of Quick-style
+// miners).
+
+type qcRes struct{ sets [][]graph.V }
+
+// QuasiCliqueTask extends set S (sorted) with candidates drawn from Cand.
+type QuasiCliqueTask struct {
+	S    []graph.V
+	Cand []graph.V
+}
+
+// IsQuasiClique reports whether set S (no duplicates) satisfies the γ
+// minimum-degree condition in g.
+func IsQuasiClique(g *graph.Graph, s []graph.V, gamma float64) bool {
+	if len(s) <= 1 {
+		return len(s) == 1
+	}
+	need := ceilGamma(gamma, len(s)-1)
+	for _, v := range s {
+		if countIn(g, v, s) < need {
+			return false
+		}
+	}
+	return true
+}
+
+func ceilGamma(gamma float64, x int) int {
+	v := gamma * float64(x)
+	n := int(v)
+	if float64(n) < v {
+		n++
+	}
+	return n
+}
+
+// QuasiCliques mines maximal γ-quasi-cliques with at least minSize vertices
+// using task-parallel set extension. Candidates are restricted to vertices
+// with id greater than the last added vertex, so each set is generated once.
+// Returned sets are sorted ascending.
+func QuasiCliques(g *graph.Graph, gamma float64, minSize int, cfg Config) ([][]graph.V, Stats) {
+	n := g.NumVertices()
+	merge := func(a, b qcRes) qcRes { return qcRes{sets: append(a.sets, b.sets...)} }
+
+	process := func(ctx *Ctx[QuasiCliqueTask, qcRes], t QuasiCliqueTask) {
+		quasiExtend(g, ctx, gamma, minSize, t)
+	}
+	roots := make([]QuasiCliqueTask, 0, n)
+	for v := 0; v < n; v++ {
+		var cand []graph.V
+		for w := v + 1; w < n; w++ {
+			cand = append(cand, graph.V(w))
+		}
+		roots = append(roots, QuasiCliqueTask{S: []graph.V{graph.V(v)}, Cand: cand})
+	}
+	out, stats := Run(roots, process, merge, cfg)
+	sort.Slice(out.sets, func(i, j int) bool { return lessVSlice(out.sets[i], out.sets[j]) })
+	return out.sets, stats
+}
+
+func quasiExtend(g *graph.Graph, ctx *Ctx[QuasiCliqueTask, qcRes], gamma float64, minSize int, t QuasiCliqueTask) {
+	ctx.Tick()
+	if len(t.S) >= minSize && IsQuasiClique(g, t.S, gamma) && isMaximalQuasi(g, t.S, gamma) {
+		ctx.Emit(qcRes{sets: [][]graph.V{append([]graph.V(nil), t.S...)}})
+	}
+	for i, v := range t.Cand {
+		// NOTE: no connectivity prune here — under increasing-id enumeration
+		// the intermediate set may be temporarily disconnected even when the
+		// final quasi-clique is connected (quasi-cliques are not hereditary).
+		ns := append(append([]graph.V(nil), t.S...), v)
+		nc := t.Cand[i+1:]
+		// degree upper-bound prune: a vertex whose degree in S∪Cand is below
+		// ⌈γ·(minSize-1)⌉ can never satisfy the final requirement
+		if countIn(g, v, ns)+countIn(g, v, nc) < ceilGamma(gamma, minSize-1) {
+			continue
+		}
+		sub := QuasiCliqueTask{S: ns, Cand: append([]graph.V(nil), nc...)}
+		if ctx.ShouldSplit() {
+			ctx.Splitted()
+			ctx.Spawn(sub)
+		} else {
+			quasiExtend(g, ctx, gamma, minSize, sub)
+		}
+	}
+}
+
+// isMaximalQuasi reports whether no single vertex of g can be added to S
+// keeping the γ-quasi-clique property.
+func isMaximalQuasi(g *graph.Graph, s []graph.V, gamma float64) bool {
+	in := make(map[graph.V]bool, len(s))
+	for _, v := range s {
+		in[v] = true
+	}
+	// only vertices adjacent to S can help (connected extension)
+	tried := map[graph.V]bool{}
+	for _, v := range s {
+		for _, w := range g.Neighbors(v) {
+			if in[w] || tried[w] {
+				continue
+			}
+			tried[w] = true
+			ext := append(append([]graph.V(nil), s...), w)
+			if IsQuasiClique(g, ext, gamma) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func lessVSlice(a, b []graph.V) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

@@ -1,0 +1,137 @@
+package tthinker
+
+import (
+	"graphsys/internal/graph"
+)
+
+// TrussDecomposition computes the truss number of every undirected edge: the
+// largest k such that the edge belongs to the k-truss (the maximal subgraph
+// where every edge is supported by ≥ k-2 triangles). k-truss is the standard
+// community-search structure analytic (Figure 1 path 3). The implementation
+// is the peeling algorithm: compute supports, then repeatedly remove the
+// edge of minimum support.
+func TrussDecomposition(g *graph.Graph) map[[2]graph.V]int32 {
+	type edge = [2]graph.V
+	norm := func(u, v graph.V) edge {
+		if u > v {
+			u, v = v, u
+		}
+		return edge{u, v}
+	}
+	support := map[edge]int32{}
+	alive := map[edge]bool{}
+	g.EdgesOnce(func(u, v graph.V) {
+		e := norm(u, v)
+		alive[e] = true
+		support[e] = 0
+	})
+	g.EdgesOnce(func(u, v graph.V) {
+		a, b := g.Neighbors(u), g.Neighbors(v)
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				support[norm(u, v)]++
+				i++
+				j++
+			}
+		}
+	})
+	truss := make(map[edge]int32, len(alive))
+	k := int32(2)
+	remaining := len(alive)
+	for remaining > 0 {
+		// peel all edges with support <= k-2
+		var queue []edge
+		for e, ok := range alive {
+			if ok && support[e] <= k-2 {
+				queue = append(queue, e)
+			}
+		}
+		if len(queue) == 0 {
+			k++
+			continue
+		}
+		for len(queue) > 0 {
+			e := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if !alive[e] {
+				continue
+			}
+			alive[e] = false
+			truss[e] = k
+			remaining--
+			u, v := e[0], e[1]
+			// decrement support of triangles through e
+			a, b := g.Neighbors(u), g.Neighbors(v)
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				switch {
+				case a[i] < b[j]:
+					i++
+				case a[i] > b[j]:
+					j++
+				default:
+					w := a[i]
+					e1, e2 := norm(u, w), norm(v, w)
+					if alive[e1] && alive[e2] {
+						support[e1]--
+						support[e2]--
+						if support[e1] <= k-2 {
+							queue = append(queue, e1)
+						}
+						if support[e2] <= k-2 {
+							queue = append(queue, e2)
+						}
+					}
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return truss
+}
+
+// KTrussSubgraph returns the vertices of the maximal k-truss of g (vertices
+// incident to an edge of truss number ≥ k).
+func KTrussSubgraph(g *graph.Graph, k int32) []graph.V {
+	truss := TrussDecomposition(g)
+	in := map[graph.V]bool{}
+	for e, t := range truss {
+		if t >= k {
+			in[e[0]] = true
+			in[e[1]] = true
+		}
+	}
+	out := make([]graph.V, 0, len(in))
+	for v := range in {
+		out = append(out, v)
+	}
+	sortV(out)
+	return out
+}
+
+// MaxTruss returns the largest k with a non-empty k-truss.
+func MaxTruss(g *graph.Graph) int32 {
+	truss := TrussDecomposition(g)
+	var max int32
+	for _, t := range truss {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+func sortV(vs []graph.V) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
