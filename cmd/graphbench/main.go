@@ -2,9 +2,11 @@
 // their tables. With no arguments it lists the experiments; pass experiment
 // ids (or "all") to run them.
 //
-//	graphbench                # list experiments
-//	graphbench fig1 tab1-gpu  # run two experiments
-//	graphbench all            # regenerate every table and claim
+//	graphbench                   # list experiments
+//	graphbench fig1 tab1-gpu     # run two experiments
+//	graphbench all               # regenerate every table and claim
+//	graphbench -trace out.json   # write an observability trace (one Pregel
+//	                             # and one gnndist workload) to out.json
 package main
 
 import (
@@ -13,16 +15,32 @@ import (
 	"os"
 	"time"
 
+	"graphsys/internal/cluster"
 	"graphsys/internal/experiments"
+	"graphsys/internal/gnn"
+	"graphsys/internal/gnndist"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/obs"
+	"graphsys/internal/pregel"
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write a JSON observability trace (traffic matrix, round series, worker skew) for one Pregel and one gnndist workload to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: graphbench [all | <experiment-id>...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: graphbench [-trace out.json] [all | <experiment-id>...]\n\n")
 		list()
 	}
 	flag.Parse()
 	args := flag.Args()
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "graphbench: %v\n", err)
+			os.Exit(1)
+		}
+		if len(args) == 0 {
+			return
+		}
+	}
 	if len(args) == 0 {
 		list()
 		return
@@ -46,6 +64,45 @@ func main() {
 		table.Fprint(os.Stdout)
 		fmt.Printf("  [%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeTrace runs one Pregel workload (PageRank on an R-MAT graph over a
+// 2-host NVLink-style topology) and one gnndist workload (synchronous
+// training with a deliberate straggler) with the observability layer on, and
+// writes both traces as one JSON document.
+func writeTrace(path string) error {
+	g := gen.RMAT(11, 8, 1)
+	_, pr := pregel.PageRank(g, 10, pregel.Config{
+		Workers: 8,
+		Trace:   true,
+		Topology: func(net *cluster.Network) {
+			cluster.RingTopology(net, 4, 0.05) // 2 hosts × 4 workers, fast intra-host links
+		},
+	})
+	pr.Trace.Workload = "pregel/pagerank-rmat"
+
+	task := gnn.SyntheticCommunityTask(300, 3, 2, 0.3, 17)
+	dres := gnndist.TrainSync(task, gnndist.TrainerConfig{
+		Workers:     4,
+		Trace:       true,
+		TimeBudget:  20,
+		WorkerSpeed: []float64{1, 1, 1, 2}, // worker 3 is a 2× straggler
+	})
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	traces := []*obs.Trace{pr.Trace, dres.Trace}
+	if err := obs.WriteAll(f, traces); err != nil {
+		return err
+	}
+	for _, t := range traces {
+		fmt.Printf("  trace %s\n", t.Summary())
+	}
+	fmt.Printf("graphbench: wrote %d traces to %s\n", len(traces), path)
+	return nil
 }
 
 func list() {

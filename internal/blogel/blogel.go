@@ -12,6 +12,7 @@ package blogel
 
 import (
 	"graphsys/internal/graph"
+	"graphsys/internal/obs"
 	"graphsys/internal/partition"
 	"graphsys/internal/pregel"
 )
@@ -69,6 +70,7 @@ type CCResult struct {
 	Labels     []int32
 	Supersteps int
 	Messages   int64
+	Trace      *obs.Trace // non-nil when run with pregel.Config.Trace
 }
 
 // ConnectedComponents computes connected components block-centrically:
@@ -78,15 +80,26 @@ type CCResult struct {
 // blocks rather than the number of vertices. Compare with pregel.HashMinCC:
 // same answer, far fewer rounds and messages (the Blogel result).
 func (b *Blocks) ConnectedComponents(workers int) CCResult {
-	qLabels, res := pregel.HashMinCC(b.Quotient, pregel.Config{Workers: workers})
+	return b.ConnectedComponentsCfg(pregel.Config{Workers: workers})
+}
+
+// ConnectedComponentsCfg is ConnectedComponents with a full engine config:
+// setting cfg.Trace attaches the quotient run's observability trace, and
+// cfg.Topology/cfg.Partition configure the quotient-level cluster.
+func (b *Blocks) ConnectedComponentsCfg(cfg pregel.Config) CCResult {
+	qLabels, res := pregel.HashMinCC(b.Quotient, cfg)
 	labels := make([]int32, b.G.NumVertices())
 	for v := range labels {
 		labels[v] = qLabels[b.BlockOf[v]]
+	}
+	if res.Trace != nil {
+		res.Trace.Workload = "blogel/cc"
 	}
 	return CCResult{
 		Labels:     labels,
 		Supersteps: res.Supersteps,
 		Messages:   res.Net.Messages + res.Net.LocalMessages,
+		Trace:      res.Trace,
 	}
 }
 

@@ -9,13 +9,18 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 )
 
 // Cluster models a set of workers connected by a metered network.
 type Cluster struct {
 	n   int
 	net *Network
+
+	mu   sync.Mutex
+	busy []float64 // cumulative per-worker busy time, seconds
 }
 
 // New creates a cluster with n workers and uniform link costs.
@@ -23,7 +28,7 @@ func New(n int) *Cluster {
 	if n <= 0 {
 		panic("cluster: need at least one worker")
 	}
-	return &Cluster{n: n, net: NewNetwork(n)}
+	return &Cluster{n: n, net: NewNetwork(n), busy: make([]float64, n)}
 }
 
 // NumWorkers returns the number of workers.
@@ -33,15 +38,21 @@ func (c *Cluster) NumWorkers() int { return c.n }
 func (c *Cluster) Network() *Network { return c.net }
 
 // Run executes fn concurrently on every worker (fn receives the worker id)
-// and blocks until all complete. Panics in workers are propagated.
+// and blocks until all complete. Each worker's wall time is credited to its
+// busy meter (see WorkerBusy). If workers panic, Run re-panics with ALL
+// worker panics aggregated into one message, so a multi-worker failure is
+// diagnosable from a single crash report.
 func (c *Cluster) Run(fn func(worker int)) {
 	var wg sync.WaitGroup
 	panics := make([]any, c.n)
+	elapsed := make([]float64, c.n)
 	for w := 0; w < c.n; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			start := time.Now()
 			defer func() {
+				elapsed[w] = time.Since(start).Seconds()
 				if r := recover(); r != nil {
 					panics[w] = r
 				}
@@ -50,11 +61,36 @@ func (c *Cluster) Run(fn func(worker int)) {
 		}(w)
 	}
 	wg.Wait()
+	c.mu.Lock()
+	for w, sec := range elapsed {
+		c.busy[w] += sec
+	}
+	c.mu.Unlock()
+	var failed []string
 	for w, p := range panics {
 		if p != nil {
-			panic(fmt.Sprintf("cluster: worker %d panicked: %v", w, p))
+			failed = append(failed, fmt.Sprintf("worker %d: %v", w, p))
 		}
 	}
+	if len(failed) > 0 {
+		panic(fmt.Sprintf("cluster: %d worker(s) panicked: %s", len(failed), strings.Join(failed, "; ")))
+	}
+}
+
+// AddBusy credits seconds of busy time to worker w. Engines that advance a
+// SIMULATED clock (gnndist's WorkerSpeed model) use this so that trace skew
+// reflects simulated rather than wall time; Run itself credits wall time.
+func (c *Cluster) AddBusy(w int, seconds float64) {
+	c.mu.Lock()
+	c.busy[w] += seconds
+	c.mu.Unlock()
+}
+
+// WorkerBusy returns a copy of the cumulative per-worker busy time (seconds).
+func (c *Cluster) WorkerBusy() []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.busy...)
 }
 
 // Owner returns the worker owning item id under hash placement.
@@ -71,6 +107,7 @@ type Barrier struct {
 	count  int
 	round  int
 	action func()
+	broken any // non-nil once a round action has panicked
 }
 
 // NewBarrier creates a barrier for n parties. If action is non-nil it runs
@@ -82,21 +119,43 @@ func NewBarrier(n int, action func()) *Barrier {
 }
 
 // Wait blocks until all n parties have called Wait for the current round.
+//
+// If the round action panics, the barrier still releases every waiting party
+// (no deadlock) and the barrier is permanently broken: every party — the
+// waiters of that round and any later arrival — panics with the action's
+// panic value, so the failure surfaces through Cluster.Run instead of
+// hanging the cluster.
 func (b *Barrier) Wait() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.broken != nil {
+		panic(fmt.Sprintf("cluster: barrier broken by earlier action panic: %v", b.broken))
+	}
 	round := b.round
 	b.count++
 	if b.count == b.n {
 		if b.action != nil {
-			b.action()
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						b.broken = r
+					}
+				}()
+				b.action()
+			}()
 		}
 		b.count = 0
 		b.round++
 		b.cond.Broadcast()
+		if b.broken != nil {
+			panic(fmt.Sprintf("cluster: barrier action panicked: %v", b.broken))
+		}
 		return
 	}
 	for b.round == round {
 		b.cond.Wait()
+	}
+	if b.broken != nil {
+		panic(fmt.Sprintf("cluster: barrier action panicked: %v", b.broken))
 	}
 }

@@ -14,21 +14,36 @@ import (
 // Heterogeneous links (the DGCL NVLink scenario) are expressed through the
 // per-byte link cost matrix: a fast NVLink pair has cost ≪ 1, a cross-host
 // TCP link cost 1.
+//
+// With EnableTrace the network additionally keeps a per-link (worker×worker)
+// traffic matrix and a per-round history (one RoundStats per AccountRound),
+// the raw material of the observability layer in internal/obs.
 type Network struct {
-	n        int
-	linkCost [][]float64
+	n int
 
 	messages atomic.Int64
 	bytes    atomic.Int64
 	local    atomic.Int64
 	rounds   atomic.Int64
 
-	mu   sync.Mutex
-	cost float64
+	traceOn atomic.Bool
+
+	mu       sync.Mutex
+	linkCost [][]float64 // guarded by mu: SetLinkCost may race with Account
+	cost     float64
+
+	// tracing state (allocated by EnableTrace, guarded by mu)
+	linkBytes []int64 // n×n row-major: bytes sent i→j
+	linkMsgs  []int64 // n×n row-major: messages sent i→j
+	cur       RoundStats
+	history   []RoundStats
 }
 
 // NewNetwork creates a network for n workers with uniform link cost 1.
 func NewNetwork(n int) *Network {
+	if n <= 0 {
+		panic("cluster: network needs at least one worker")
+	}
 	lc := make([][]float64, n)
 	for i := range lc {
 		lc[i] = make([]float64, n)
@@ -39,31 +54,127 @@ func NewNetwork(n int) *Network {
 	return &Network{n: n, linkCost: lc}
 }
 
-// SetLinkCost sets the per-byte cost of the directed link i→j.
+// NumWorkers returns the number of workers the network connects.
+func (net *Network) NumWorkers() int { return net.n }
+
+func (net *Network) checkLink(i, j int) {
+	if i < 0 || i >= net.n || j < 0 || j >= net.n {
+		panic(fmt.Sprintf("cluster: link (%d,%d) out of range for %d-worker network", i, j, net.n))
+	}
+}
+
+// SetLinkCost sets the per-byte cost of the directed link i→j. It is safe to
+// call concurrently with Account (topology reconfiguration mid-run).
 func (net *Network) SetLinkCost(i, j int, cost float64) {
+	net.checkLink(i, j)
+	net.mu.Lock()
 	net.linkCost[i][j] = cost
+	net.mu.Unlock()
 }
 
 // LinkCost returns the per-byte cost of the link i→j.
-func (net *Network) LinkCost(i, j int) float64 { return net.linkCost[i][j] }
+func (net *Network) LinkCost(i, j int) float64 {
+	net.checkLink(i, j)
+	net.mu.Lock()
+	c := net.linkCost[i][j]
+	net.mu.Unlock()
+	return c
+}
+
+// EnableTrace turns on per-link and per-round accounting. Counting starts at
+// the moment of the call; traffic accounted earlier is only in the global
+// aggregates. Enabling is idempotent and keeps any trace already collected.
+func (net *Network) EnableTrace() {
+	net.mu.Lock()
+	if net.linkBytes == nil {
+		net.linkBytes = make([]int64, net.n*net.n)
+		net.linkMsgs = make([]int64, net.n*net.n)
+	}
+	net.mu.Unlock()
+	net.traceOn.Store(true)
+}
+
+// Tracing reports whether per-link/per-round tracing is enabled.
+func (net *Network) Tracing() bool { return net.traceOn.Load() }
 
 // Account records a transfer of size bytes from worker i to worker j.
 // It carries no payload; payload delivery is the caller's concern (Mailboxes,
 // shared structures). Local transfers (i==j) are metered separately.
 func (net *Network) Account(i, j int, size int64) {
+	net.checkLink(i, j)
 	if i == j {
 		net.local.Add(1)
+		if net.traceOn.Load() {
+			net.mu.Lock()
+			net.cur.LocalMessages++
+			net.mu.Unlock()
+		}
 		return
 	}
 	net.messages.Add(1)
 	net.bytes.Add(size)
 	net.mu.Lock()
-	net.cost += float64(size) * net.linkCost[i][j]
+	c := float64(size) * net.linkCost[i][j]
+	net.cost += c
+	if net.traceOn.Load() {
+		k := i*net.n + j
+		net.linkBytes[k] += size
+		net.linkMsgs[k]++
+		net.cur.Messages++
+		net.cur.Bytes += size
+		net.cur.WeightedCost += c
+	}
 	net.mu.Unlock()
 }
 
 // AccountRound records the completion of one global synchronisation round.
-func (net *Network) AccountRound() { net.rounds.Add(1) }
+// Under tracing it also closes the current RoundStats window.
+func (net *Network) AccountRound() {
+	r := net.rounds.Add(1)
+	if !net.traceOn.Load() {
+		return
+	}
+	net.mu.Lock()
+	cur := net.cur
+	cur.Round = int(r) - 1
+	net.history = append(net.history, cur)
+	net.cur = RoundStats{}
+	net.mu.Unlock()
+}
+
+// RoundStats is the traffic accounted within one synchronisation round.
+type RoundStats struct {
+	Round         int     `json:"round"`
+	Messages      int64   `json:"messages"`
+	Bytes         int64   `json:"bytes"`
+	LocalMessages int64   `json:"local_messages"`
+	WeightedCost  float64 `json:"weighted_cost"`
+}
+
+// TrafficMatrix returns copies of the per-link byte and message totals
+// (bytes[i][j] = bytes sent i→j). Both are nil if tracing was never enabled.
+func (net *Network) TrafficMatrix() (bytes, msgs [][]int64) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	if net.linkBytes == nil {
+		return nil, nil
+	}
+	bytes = make([][]int64, net.n)
+	msgs = make([][]int64, net.n)
+	for i := 0; i < net.n; i++ {
+		bytes[i] = append([]int64(nil), net.linkBytes[i*net.n:(i+1)*net.n]...)
+		msgs[i] = append([]int64(nil), net.linkMsgs[i*net.n:(i+1)*net.n]...)
+	}
+	return bytes, msgs
+}
+
+// RoundHistory returns a copy of the completed rounds' stats (empty unless
+// tracing is enabled).
+func (net *Network) RoundHistory() []RoundStats {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	return append([]RoundStats(nil), net.history...)
+}
 
 // Stats is a snapshot of network counters.
 type Stats struct {
@@ -88,7 +199,8 @@ func (net *Network) Stats() Stats {
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters, including any collected trace (tracing stays
+// enabled if it was).
 func (net *Network) Reset() {
 	net.messages.Store(0)
 	net.bytes.Store(0)
@@ -96,6 +208,12 @@ func (net *Network) Reset() {
 	net.rounds.Store(0)
 	net.mu.Lock()
 	net.cost = 0
+	for i := range net.linkBytes {
+		net.linkBytes[i] = 0
+		net.linkMsgs[i] = 0
+	}
+	net.cur = RoundStats{}
+	net.history = nil
 	net.mu.Unlock()
 }
 
@@ -146,8 +264,16 @@ func (mb *Mailboxes[M]) Send(from, to int, msg M) {
 // number of messages delivered.
 func (mb *Mailboxes[M]) Exchange() int64 {
 	delivered := mb.pending.Swap(0)
+	var zero M
 	for w := range mb.inbox {
-		mb.inbox[w] = mb.inbox[w][:0]
+		in := mb.inbox[w]
+		// zero before truncating: the backing array is recycled as next
+		// round's outbox, and for pointer-bearing M the stale elements would
+		// otherwise keep last round's payloads reachable
+		for i := range in {
+			in[i] = zero
+		}
+		mb.inbox[w] = in[:0]
 		mb.inbox[w], mb.outbox[w] = mb.outbox[w], mb.inbox[w]
 	}
 	mb.net.AccountRound()

@@ -1,0 +1,65 @@
+package gnndist
+
+import (
+	"testing"
+
+	"graphsys/internal/cluster"
+	"graphsys/internal/gnn"
+)
+
+func TestTrainSyncCollectsTrace(t *testing.T) {
+	task := gnn.SyntheticCommunityTask(120, 3, 2, 0.3, 5)
+	res := TrainSync(task, TrainerConfig{
+		Workers:     4,
+		Trace:       true,
+		TimeBudget:  10,
+		WorkerSpeed: []float64{1, 1, 1, 2}, // worker 3 straggles
+		Topology: func(net *cluster.Network) {
+			cluster.RingTopology(net, 2, 0.1)
+		},
+	})
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("Trace not collected")
+	}
+	if tr.Workers != 4 || len(tr.LinkBytes) != 4 {
+		t.Fatalf("trace shape wrong: %+v", tr)
+	}
+	if int64(len(tr.RoundSeries)) != res.SyncRounds {
+		t.Fatalf("round series has %d entries, ran %d sync rounds", len(tr.RoundSeries), res.SyncRounds)
+	}
+	// simulated busy time: the straggler must dominate and skew must see it
+	busy := tr.WorkerBusySec
+	if busy[3] <= busy[0] {
+		t.Fatalf("straggler not metered: busy=%v", busy)
+	}
+	if tr.Skew.BusyImbalance <= 1.0 {
+		t.Fatalf("imbalance = %f, want > 1 with a 2x straggler", tr.Skew.BusyImbalance)
+	}
+	if tr.Skew.MaxBusySec != busy[3] {
+		t.Fatalf("max busy %f != straggler busy %f", tr.Skew.MaxBusySec, busy[3])
+	}
+	// parameter-server pattern: everyone sends to worker 0, worker 0 broadcasts
+	if tr.LinkBytes[1][0] == 0 || tr.LinkBytes[0][1] == 0 {
+		t.Fatalf("expected push/broadcast traffic through worker 0: %v", tr.LinkBytes)
+	}
+}
+
+func TestTrainModesTraceOptIn(t *testing.T) {
+	task := gnn.SyntheticCommunityTask(80, 2, 2, 0.3, 9)
+	base := TrainerConfig{Workers: 2, TimeBudget: 4}
+	if res := TrainSync(task, base); res.Trace != nil {
+		t.Fatal("sync: trace without opt-in")
+	}
+	stale := base
+	stale.Staleness = 2
+	stale.Trace = true
+	if res := TrainBoundedStale(task, stale); res.Trace == nil || res.Trace.Workload != "gnndist/bounded-stale" {
+		t.Fatal("bounded-stale: trace missing")
+	}
+	sanc := base
+	sanc.Trace = true
+	if res := TrainSancus(task, sanc); res.Trace == nil || len(res.Trace.RoundSeries) == 0 {
+		t.Fatal("sancus: trace missing round series")
+	}
+}

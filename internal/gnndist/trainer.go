@@ -7,6 +7,7 @@ import (
 	"graphsys/internal/gnn"
 	"graphsys/internal/graph"
 	"graphsys/internal/nn"
+	"graphsys/internal/obs"
 	"graphsys/internal/partition"
 	"graphsys/internal/tensor"
 )
@@ -43,6 +44,14 @@ type TrainerConfig struct {
 	QuantCompensate bool
 	// FeatureBits compresses remote feature fetches (F²CGT; 0/32 = off).
 	FeatureBits int
+
+	// Trace enables the observability layer: per-link/per-round network
+	// tracing plus per-worker SIMULATED busy time (WorkerSpeed units); the
+	// collected obs.Trace is attached to the DistResult.
+	Trace bool
+	// Topology, if non-nil, configures network link costs before training
+	// (e.g. cluster.RingTopology for NVLink-style hosts).
+	Topology func(net *cluster.Network)
 }
 
 func (c *TrainerConfig) defaults() {
@@ -85,6 +94,10 @@ type DistResult struct {
 	Net        cluster.Stats
 	RemoteFrac float64 // fraction of feature fetches that were remote
 	GradBytes  int64   // gradient payload actually sent (post-quantisation)
+
+	// Trace is the observability snapshot of the run (nil unless
+	// TrainerConfig.Trace was set). Worker busy time is simulated time.
+	Trace *obs.Trace
 }
 
 // dist holds the shared machinery of all training modes.
@@ -105,6 +118,12 @@ func newDist(task *gnn.Task, cfg TrainerConfig) *dist {
 		cfg.Part = partition.Hash(task.G, cfg.Workers)
 	}
 	d := &dist{cfg: cfg, task: task, clst: cluster.New(cfg.Workers)}
+	if cfg.Topology != nil {
+		cfg.Topology(d.clst.Network())
+	}
+	if cfg.Trace {
+		d.clst.Network().EnableTrace()
+	}
 	d.fs = NewFeatureStore(task.X, cfg.Part, d.clst.Network())
 	d.fs.FeatureBits = cfg.FeatureBits
 	if cfg.CacheSize > 0 {
@@ -282,6 +301,7 @@ func trainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, *dist) {
 					p.Grad.AddScaled(grads[i], 1/float32(cfg.Workers))
 				}
 			}
+			d.clst.AddBusy(w, cfg.WorkerSpeed[w])
 			if cfg.WorkerSpeed[w] > roundMax {
 				roundMax = cfg.WorkerSpeed[w]
 			}
@@ -296,11 +316,15 @@ func trainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, *dist) {
 				d.clst.Network().Account(ps, w, wb)
 			}
 		}
+		d.clst.Network().AccountRound()
 		res.SimTime += roundMax
 	}
 	res.TestAcc = d.evaluate(master)
 	res.Net = d.clst.Network().Stats()
 	res.RemoteFrac = d.fs.RemoteFraction()
+	if cfg.Trace {
+		res.Trace = obs.Collect("gnndist/sync", d.clst)
+	}
 	return res, d
 }
 
@@ -337,6 +361,7 @@ func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) DistResult {
 		}
 		w := next
 		clock[w] = best
+		d.clst.AddBusy(w, cfg.WorkerSpeed[w])
 		// pull if too stale
 		if masterVersion-version[w] > int64(cfg.Staleness) {
 			for i := range local[w] {
@@ -365,6 +390,9 @@ func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) DistResult {
 	res.TestAcc = d.evaluate(master)
 	res.Net = d.clst.Network().Stats()
 	res.RemoteFrac = d.fs.RemoteFraction()
+	if cfg.Trace {
+		res.Trace = obs.Collect("gnndist/bounded-stale", d.clst)
+	}
 	return res
 }
 
@@ -397,6 +425,7 @@ func TrainSancus(task *gnn.Task, cfg TrainerConfig) DistResult {
 					p.Grad.AddScaled(grads[i], 1/float32(cfg.Workers))
 				}
 			}
+			d.clst.AddBusy(w, cfg.WorkerSpeed[w])
 			if cfg.WorkerSpeed[w] > roundMax {
 				roundMax = cfg.WorkerSpeed[w]
 			}
@@ -417,10 +446,14 @@ func TrainSancus(task *gnn.Task, cfg TrainerConfig) DistResult {
 		} else {
 			res.Skipped++
 		}
+		d.clst.Network().AccountRound()
 		res.SimTime += roundMax
 	}
 	res.TestAcc = d.evaluate(master)
 	res.Net = d.clst.Network().Stats()
 	res.RemoteFrac = d.fs.RemoteFraction()
+	if cfg.Trace {
+		res.Trace = obs.Collect("gnndist/sancus", d.clst)
+	}
 	return res
 }

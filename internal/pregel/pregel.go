@@ -10,10 +10,12 @@
 package pregel
 
 import (
+	"fmt"
 	"sync"
 
 	"graphsys/internal/cluster"
 	"graphsys/internal/graph"
+	"graphsys/internal/obs"
 )
 
 // Config controls an engine run.
@@ -32,6 +34,15 @@ type Config struct {
 	CheckpointEvery int
 	FailAtStep      int
 	StateBytes      int64
+
+	// Trace enables the observability layer: per-link and per-round network
+	// tracing plus per-worker busy metering; the collected obs.Trace is
+	// attached to the Result.
+	Trace bool
+	// Topology, if non-nil, configures the cluster's network link costs
+	// before superstep 0 — e.g. cluster.RingTopology for an NVLink-style
+	// hosts-of-fast-links layout.
+	Topology func(net *cluster.Network)
 }
 
 func (c *Config) defaults(n int) {
@@ -49,6 +60,19 @@ func (c *Config) defaults(n int) {
 		for v := 0; v < n; v++ {
 			h := uint64(v) * 0x9e3779b97f4a7c15
 			c.Partition[v] = int(h % uint64(c.Workers))
+		}
+	}
+}
+
+// validate checks a user-supplied Partition up front, so a bad placement
+// fails with a clear message instead of an opaque index panic mid-superstep.
+func (c *Config) validate(n int) {
+	if len(c.Partition) != n {
+		panic(fmt.Sprintf("pregel: Config.Partition has %d entries for a graph with %d vertices", len(c.Partition), n))
+	}
+	for v, w := range c.Partition {
+		if w < 0 || w >= c.Workers {
+			panic(fmt.Sprintf("pregel: Config.Partition[%d] = %d, want a worker id in [0,%d)", v, w, c.Workers))
 		}
 	}
 }
@@ -134,6 +158,10 @@ type Result[S any] struct {
 	Supersteps int
 	Net        cluster.Stats
 
+	// Trace is the observability snapshot of the run (nil unless
+	// Config.Trace was set).
+	Trace *obs.Trace
+
 	// Fault-tolerance accounting (zero unless Config enables it).
 	CheckpointBytes int64 // total snapshot volume written
 	Checkpoints     int   // snapshots taken
@@ -145,8 +173,15 @@ type Result[S any] struct {
 func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) *Result[S] {
 	n := g.NumVertices()
 	cfg.defaults(n)
+	cfg.validate(n)
 	c := cluster.New(cfg.Workers)
 	net := c.Network()
+	if cfg.Topology != nil {
+		cfg.Topology(net)
+	}
+	if cfg.Trace {
+		net.EnableTrace()
+	}
 
 	eng := &engine[S, M]{agg: map[string]float64{}}
 
@@ -310,10 +345,14 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) *Result[S] {
 			}
 		})
 	}
-	return &Result[S]{
+	res := &Result[S]{
 		States: states, Supersteps: steps, Net: net.Stats(),
 		CheckpointBytes: ckptBytes, Checkpoints: ckptCount, RecoveredSteps: recovered,
 	}
+	if cfg.Trace {
+		res.Trace = obs.Collect("pregel", c)
+	}
+	return res
 }
 
 type engine[S, M any] struct {

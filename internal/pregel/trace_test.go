@@ -1,0 +1,96 @@
+package pregel
+
+import (
+	"strings"
+	"testing"
+
+	"graphsys/internal/cluster"
+	"graphsys/internal/graph/gen"
+)
+
+func expectPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if !strings.Contains(r.(string), substr) {
+			t.Fatalf("panic %q does not mention %q", r, substr)
+		}
+	}()
+	fn()
+}
+
+func TestPartitionLengthValidated(t *testing.T) {
+	g := gen.Grid(4, 4) // 16 vertices
+	expectPanic(t, "Partition has 3 entries", func() {
+		PageRank(g, 2, Config{Workers: 2, Partition: []int{0, 1, 0}})
+	})
+}
+
+func TestPartitionWorkerRangeValidated(t *testing.T) {
+	g := gen.Grid(2, 2)
+	bad := []int{0, 1, 7, 0} // worker 7 does not exist
+	expectPanic(t, "Partition[2] = 7", func() {
+		PageRank(g, 2, Config{Workers: 2, Partition: bad})
+	})
+	neg := []int{0, -1, 0, 0}
+	expectPanic(t, "Partition[1] = -1", func() {
+		PageRank(g, 2, Config{Workers: 2, Partition: neg})
+	})
+}
+
+func TestRunCollectsTrace(t *testing.T) {
+	g := gen.RMAT(8, 8, 3)
+	_, res := PageRank(g, 5, Config{
+		Workers: 4,
+		Trace:   true,
+		Topology: func(net *cluster.Network) {
+			cluster.RingTopology(net, 2, 0.05)
+		},
+	})
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("Trace not collected")
+	}
+	if tr.Workers != 4 || len(tr.LinkBytes) != 4 || len(tr.WorkerBusySec) != 4 {
+		t.Fatalf("trace shape wrong: workers=%d", tr.Workers)
+	}
+	if tr.Bytes != res.Net.Bytes || tr.Messages != res.Net.Messages {
+		t.Fatalf("trace totals disagree with Result.Net: %d vs %d bytes", tr.Bytes, res.Net.Bytes)
+	}
+	// the matrix must account for every cross-worker byte
+	var matBytes int64
+	for i := range tr.LinkBytes {
+		for j, b := range tr.LinkBytes[i] {
+			if i == j && b != 0 {
+				t.Fatal("diagonal of traffic matrix must be empty")
+			}
+			matBytes += b
+		}
+	}
+	if matBytes != tr.Bytes {
+		t.Fatalf("matrix sums to %d bytes, totals say %d", matBytes, tr.Bytes)
+	}
+	// one round per Exchange; the series must cover all metered rounds
+	var seriesBytes int64
+	for _, r := range tr.RoundSeries {
+		seriesBytes += r.Bytes
+	}
+	if int64(len(tr.RoundSeries)) != tr.Rounds || seriesBytes != tr.Bytes {
+		t.Fatalf("round series inconsistent: %d rounds, %d bytes", len(tr.RoundSeries), seriesBytes)
+	}
+	// intra-host links were set to cost 0.05, so weighted cost < raw bytes
+	if tr.WeightedCost >= float64(tr.Bytes) {
+		t.Fatalf("heterogeneous topology not applied: cost %f, bytes %d", tr.WeightedCost, tr.Bytes)
+	}
+}
+
+func TestNoTraceByDefault(t *testing.T) {
+	g := gen.Grid(3, 3)
+	_, res := PageRank(g, 2, Config{Workers: 2})
+	if res.Trace != nil {
+		t.Fatal("trace collected without Config.Trace")
+	}
+}

@@ -10,6 +10,7 @@ package quegel
 import (
 	"graphsys/internal/cluster"
 	"graphsys/internal/graph"
+	"graphsys/internal/obs"
 	"graphsys/internal/pregel"
 )
 
@@ -27,6 +28,10 @@ type Answer struct {
 type Stats struct {
 	Supersteps int   // total barrier rounds paid
 	Messages   int64 // total messages
+	// Trace is the shared run's observability trace (batched execution with
+	// pregel.Config.Trace set; nil for sequential serving, which pays one
+	// engine run per query).
+	Trace *obs.Trace
 }
 
 type qmsg struct {
@@ -86,7 +91,10 @@ func AnswerBatched(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer
 			out[qi] = Answer{Dist: -1}
 		}
 	}
-	return out, Stats{Supersteps: res.Supersteps, Messages: res.Net.Messages + res.Net.LocalMessages}
+	if res.Trace != nil {
+		res.Trace.Workload = "quegel/batched"
+	}
+	return out, Stats{Supersteps: res.Supersteps, Messages: res.Net.Messages + res.Net.LocalMessages, Trace: res.Trace}
 }
 
 // AnswerSequential serves queries one at a time, each paying its own full
