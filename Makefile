@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled subset: the packages with real concurrency (the cluster
+# runtime and the engines that drive it, including the fault-injection /
+# crash-recovery paths).
+race:
+	$(GO) test -race ./internal/cluster/ ./internal/pregel/ ./internal/gnndist/
+
+# The full pre-commit gate: referenced from .claude/skills/verify/SKILL.md.
+verify: vet build test race
+	@echo "verify: OK"
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -258,7 +258,7 @@ func BenchmarkTable2_Partitioning(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var res gnndist.DistResult
 			for i := 0; i < b.N; i++ {
-				res = gnndist.TrainSync(task, gnndist.TrainerConfig{Workers: 4, TimeBudget: 5, Seed: 7, Part: p})
+				res, _ = gnndist.TrainSync(task, gnndist.TrainerConfig{Workers: 4, TimeBudget: 5, Seed: 7, Part: p})
 			}
 			b.ReportMetric(float64(res.Net.Bytes), "net-bytes")
 			b.ReportMetric(res.RemoteFrac, "remote-frac")
@@ -273,7 +273,7 @@ func BenchmarkTable2_Sampling(b *testing.B) {
 		b.Run(map[int]string{2: "fanout2", 8: "fanout8", 32: "fanout32"}[fanout], func(b *testing.B) {
 			var res gnndist.DistResult
 			for i := 0; i < b.N; i++ {
-				res = gnndist.TrainSync(task, gnndist.TrainerConfig{
+				res, _ = gnndist.TrainSync(task, gnndist.TrainerConfig{
 					Workers: 4, TimeBudget: 5, Seed: 8, Fanouts: []int{fanout, fanout}})
 			}
 			b.ReportMetric(float64(res.Net.Bytes), "net-bytes")
@@ -292,7 +292,7 @@ func BenchmarkTable2_Caching(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var res gnndist.DistResult
 			for i := 0; i < b.N; i++ {
-				res = gnndist.TrainSync(task, gnndist.TrainerConfig{
+				res, _ = gnndist.TrainSync(task, gnndist.TrainerConfig{
 					Workers: 4, TimeBudget: 5, Seed: 9, CacheSize: size})
 			}
 			b.ReportMetric(float64(res.Net.Bytes), "net-bytes")
@@ -336,7 +336,7 @@ func BenchmarkTable2_Staleness(b *testing.B) {
 	b.Run("sync", func(b *testing.B) {
 		var res gnndist.DistResult
 		for i := 0; i < b.N; i++ {
-			res = gnndist.TrainSync(task, gnndist.TrainerConfig{
+			res, _ = gnndist.TrainSync(task, gnndist.TrainerConfig{
 				Workers: 4, TimeBudget: 20, WorkerSpeed: speeds, Seed: 10})
 		}
 		b.ReportMetric(float64(res.Steps), "grad-steps")
@@ -345,7 +345,7 @@ func BenchmarkTable2_Staleness(b *testing.B) {
 	b.Run("bounded-stale", func(b *testing.B) {
 		var res gnndist.DistResult
 		for i := 0; i < b.N; i++ {
-			res = gnndist.TrainBoundedStale(task, gnndist.TrainerConfig{
+			res, _ = gnndist.TrainBoundedStale(task, gnndist.TrainerConfig{
 				Workers: 4, TimeBudget: 20, WorkerSpeed: speeds, Staleness: 4, Seed: 10})
 		}
 		b.ReportMetric(float64(res.Steps), "grad-steps")
@@ -354,7 +354,7 @@ func BenchmarkTable2_Staleness(b *testing.B) {
 	b.Run("sancus", func(b *testing.B) {
 		var res gnndist.DistResult
 		for i := 0; i < b.N; i++ {
-			res = gnndist.TrainSancus(task, gnndist.TrainerConfig{
+			res, _ = gnndist.TrainSancus(task, gnndist.TrainerConfig{
 				Workers: 4, TimeBudget: 100, WorkerSpeed: speeds, SancusTau: 5e-3, Seed: 10})
 		}
 		b.ReportMetric(float64(res.Skipped), "skipped-bcasts")
@@ -366,7 +366,7 @@ func BenchmarkTable2_Quantization(b *testing.B) {
 	run := func(b *testing.B, bits int, ec bool) {
 		var res gnndist.DistResult
 		for i := 0; i < b.N; i++ {
-			res = gnndist.TrainSync(task, gnndist.TrainerConfig{
+			res, _ = gnndist.TrainSync(task, gnndist.TrainerConfig{
 				Workers: 4, TimeBudget: 10, Seed: 11, QuantBits: bits, QuantCompensate: ec})
 		}
 		b.ReportMetric(float64(res.GradBytes), "grad-bytes")
@@ -496,7 +496,7 @@ func BenchmarkClaim_TriangleMRvsSerial(b *testing.B) {
 	b.Run("mapreduce-style", func(b *testing.B) {
 		var msgs int64
 		for i := 0; i < b.N; i++ {
-			_, res := pregel.TriangleCountMR(g, pregel.Config{Workers: 4})
+			_, res, _ := pregel.TriangleCountMR(g, pregel.Config{Workers: 4})
 			msgs = res.Net.Messages + res.Net.LocalMessages
 		}
 		b.ReportMetric(float64(msgs), "messages")
@@ -517,7 +517,7 @@ func BenchmarkClaim_TLAVComplexity(b *testing.B) {
 			b.ResetTimer()
 			var rounds int
 			for i := 0; i < b.N; i++ {
-				_, res := pregel.HashMinCC(g, pregel.Config{Workers: 4})
+				_, res, _ := pregel.HashMinCC(g, pregel.Config{Workers: 4})
 				rounds = res.Supersteps
 			}
 			b.ReportMetric(float64(rounds), "rounds")
@@ -591,7 +591,7 @@ func BenchmarkAblation_Combiner(b *testing.B) {
 	b.Run("with-combiner", func(b *testing.B) {
 		var msgs int64
 		for i := 0; i < b.N; i++ {
-			_, res := pregel.HashMinCC(g, pregel.Config{Workers: 4})
+			_, res, _ := pregel.HashMinCC(g, pregel.Config{Workers: 4})
 			msgs = res.Net.Messages
 		}
 		b.ReportMetric(float64(msgs), "messages")
@@ -620,7 +620,7 @@ func BenchmarkAblation_Combiner(b *testing.B) {
 		}
 		var msgs int64
 		for i := 0; i < b.N; i++ {
-			res := pregel.Run(g, prog, pregel.Config{Workers: 4})
+			res, _ := pregel.Run(g, prog, pregel.Config{Workers: 4})
 			msgs = res.Net.Messages
 		}
 		b.ReportMetric(float64(msgs), "messages")
@@ -655,7 +655,7 @@ func BenchmarkExt_BlogelCC(b *testing.B) {
 	b.Run("vertex-centric", func(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
-			_, res := pregel.HashMinCC(g, pregel.Config{Workers: 4, MaxSupersteps: 100000})
+			_, res, _ := pregel.HashMinCC(g, pregel.Config{Workers: 4, MaxSupersteps: 100000})
 			rounds = res.Supersteps
 		}
 		b.ReportMetric(float64(rounds), "rounds")
@@ -664,7 +664,7 @@ func BenchmarkExt_BlogelCC(b *testing.B) {
 		var rounds int
 		for i := 0; i < b.N; i++ {
 			blocks := blogel.Build(g, partition.Metis(g, 16))
-			res := blocks.ConnectedComponents(4)
+			res, _ := blocks.ConnectedComponents(4)
 			rounds = res.Supersteps
 		}
 		b.ReportMetric(float64(rounds), "rounds")
@@ -683,14 +683,14 @@ func BenchmarkExt_QuegelBatching(b *testing.B) {
 	b.Run("batched", func(b *testing.B) {
 		var st quegel.Stats
 		for i := 0; i < b.N; i++ {
-			_, st = quegel.AnswerBatched(g, queries, cfg)
+			_, st, _ = quegel.AnswerBatched(g, queries, cfg)
 		}
 		b.ReportMetric(float64(st.Supersteps), "rounds")
 	})
 	b.Run("sequential", func(b *testing.B) {
 		var st quegel.Stats
 		for i := 0; i < b.N; i++ {
-			_, st = quegel.AnswerSequential(g, queries, cfg)
+			_, st, _ = quegel.AnswerSequential(g, queries, cfg)
 		}
 		b.ReportMetric(float64(st.Supersteps), "rounds")
 	})
@@ -700,7 +700,7 @@ func BenchmarkExt_FaultTolerance(b *testing.B) {
 	g := fx().baBig
 	b.Run("no-failure", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			_, _ = pregel.HashMinCC(g, pregel.Config{Workers: 4})
+			_, _, _ = pregel.HashMinCC(g, pregel.Config{Workers: 4})
 		}
 	})
 	b.Run("failure-with-ckpt2", func(b *testing.B) {
@@ -733,7 +733,10 @@ func BenchmarkExt_FaultTolerance(b *testing.B) {
 		}
 		var ckpt int64
 		for i := 0; i < b.N; i++ {
-			res := pregel.Run(g, prog, pregel.Config{Workers: 4, CheckpointEvery: 2, FailAtStep: 3})
+			res, _ := pregel.Run(g, prog, pregel.Config{
+				Workers: 4, CheckpointEvery: 2,
+				RunOptions: cluster.RunOptions{Faults: &cluster.FaultPlan{CrashAtRound: 3}},
+			})
 			ckpt = res.CheckpointBytes
 		}
 		b.ReportMetric(float64(ckpt), "ckpt-bytes")
@@ -771,7 +774,7 @@ func BenchmarkExt_FeatureCompression(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var res gnndist.DistResult
 			for i := 0; i < b.N; i++ {
-				res = gnndist.TrainSync(task, gnndist.TrainerConfig{
+				res, _ = gnndist.TrainSync(task, gnndist.TrainerConfig{
 					Workers: 4, TimeBudget: 5, Seed: 21, FeatureBits: bits})
 			}
 			b.ReportMetric(float64(res.Net.Bytes), "net-bytes")

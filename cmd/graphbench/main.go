@@ -60,10 +60,27 @@ func main() {
 			os.Exit(1)
 		}
 		start := time.Now()
-		table := exp.Run()
+		table, err := runExperiment(exp)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphbench: experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
 		table.Fprint(os.Stdout)
 		fmt.Printf("  [%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runExperiment runs one experiment, converting a panic inside it (the
+// engines return errors from their entry points; the experiment helpers
+// re-panic on the impossible ones) into an error so main can report it on
+// stderr with a non-zero exit instead of a half-printed table and a stack.
+func runExperiment(exp experiments.Experiment) (t *experiments.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return exp.Run(), nil
 }
 
 // writeTrace runs one Pregel workload (PageRank on an R-MAT graph over a
@@ -72,22 +89,30 @@ func main() {
 // writes both traces as one JSON document.
 func writeTrace(path string) error {
 	g := gen.RMAT(11, 8, 1)
-	_, pr := pregel.PageRank(g, 10, pregel.Config{
+	_, pr, err := pregel.PageRank(g, 10, pregel.Config{
 		Workers: 8,
-		Trace:   true,
-		Topology: func(net *cluster.Network) {
-			cluster.RingTopology(net, 4, 0.05) // 2 hosts × 4 workers, fast intra-host links
+		RunOptions: cluster.RunOptions{
+			Trace: true,
+			Topology: func(net *cluster.Network) {
+				cluster.RingTopology(net, 4, 0.05) // 2 hosts × 4 workers, fast intra-host links
+			},
 		},
 	})
+	if err != nil {
+		return err
+	}
 	pr.Trace.Workload = "pregel/pagerank-rmat"
 
 	task := gnn.SyntheticCommunityTask(300, 3, 2, 0.3, 17)
-	dres := gnndist.TrainSync(task, gnndist.TrainerConfig{
+	dres, err := gnndist.TrainSync(task, gnndist.TrainerConfig{
 		Workers:     4,
-		Trace:       true,
 		TimeBudget:  20,
 		WorkerSpeed: []float64{1, 1, 1, 2}, // worker 3 is a 2× straggler
+		RunOptions:  cluster.RunOptions{Trace: true},
 	})
+	if err != nil {
+		return err
+	}
 
 	f, err := os.Create(path)
 	if err != nil {

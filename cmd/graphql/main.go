@@ -126,7 +126,11 @@ func main() {
 				break
 			}
 			qsrv.Submit(quegel.Query{Src: graph.V(u), Dst: graph.V(v)})
-			ans, st := qsrv.Flush()
+			ans, st, err := qsrv.Flush()
+			if err != nil {
+				fmt.Printf("query failed: %v\n", err)
+				break
+			}
 			fmt.Printf("dist(%d,%d) = %d  (%d rounds)\n", u, v, ans[0].Dist, st.Supersteps)
 		case "edges":
 			if len(fields) < 2 {

@@ -36,8 +36,14 @@ func main() {
 			Dst: graph.V(rng.Intn(g.NumVertices())),
 		})
 	}
-	batched, bst := quegel.AnswerBatched(g, queries, pregel.Config{Workers: 4})
-	_, sst := quegel.AnswerSequential(g, queries, pregel.Config{Workers: 4})
+	batched, bst, err := quegel.AnswerBatched(g, queries, pregel.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, sst, err := quegel.AnswerSequential(g, queries, pregel.Config{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("== Quegel: 10 point-to-point distance queries ==")
 	for i, q := range queries[:4] {
 		fmt.Printf("  dist(%4d → %4d) = %d hops\n", q.Src, q.Dst, batched[i].Dist)
@@ -46,9 +52,15 @@ func main() {
 		bst.Supersteps, sst.Supersteps, float64(sst.Supersteps)/float64(bst.Supersteps))
 
 	// --- Blogel: block-centric CC on the high-diameter network ---
-	_, vres := pregel.HashMinCC(g, pregel.Config{Workers: 4, MaxSupersteps: 100000})
+	_, vres, err := pregel.HashMinCC(g, pregel.Config{Workers: 4, MaxSupersteps: 100000})
+	if err != nil {
+		log.Fatal(err)
+	}
 	blocks := blogel.Build(g, partition.Metis(g, 16))
-	bres := blocks.ConnectedComponents(4)
+	bres, err := blocks.ConnectedComponents(4)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("== Blogel: connected components on a high-diameter network ==")
 	fmt.Printf("  vertex-centric: %d rounds, %d messages\n", vres.Supersteps, vres.Net.Messages+vres.Net.LocalMessages)
 	fmt.Printf("  block-centric:  %d rounds, %d messages (%d blocks)\n\n",

@@ -79,15 +79,19 @@ type CCResult struct {
 // propagation runs over the quotient graph, whose size is the number of
 // blocks rather than the number of vertices. Compare with pregel.HashMinCC:
 // same answer, far fewer rounds and messages (the Blogel result).
-func (b *Blocks) ConnectedComponents(workers int) CCResult {
+func (b *Blocks) ConnectedComponents(workers int) (CCResult, error) {
 	return b.ConnectedComponentsCfg(pregel.Config{Workers: workers})
 }
 
 // ConnectedComponentsCfg is ConnectedComponents with a full engine config:
 // setting cfg.Trace attaches the quotient run's observability trace, and
-// cfg.Topology/cfg.Partition configure the quotient-level cluster.
-func (b *Blocks) ConnectedComponentsCfg(cfg pregel.Config) CCResult {
-	qLabels, res := pregel.HashMinCC(b.Quotient, cfg)
+// cfg.Topology/cfg.Faults/cfg.Partition configure the quotient-level cluster.
+// An invalid config is reported as an error without starting the run.
+func (b *Blocks) ConnectedComponentsCfg(cfg pregel.Config) (CCResult, error) {
+	qLabels, res, err := pregel.HashMinCC(b.Quotient, cfg)
+	if err != nil {
+		return CCResult{}, err
+	}
 	labels := make([]int32, b.G.NumVertices())
 	for v := range labels {
 		labels[v] = qLabels[b.BlockOf[v]]
@@ -100,7 +104,7 @@ func (b *Blocks) ConnectedComponentsCfg(cfg pregel.Config) CCResult {
 		Supersteps: res.Supersteps,
 		Messages:   res.Net.Messages + res.Net.LocalMessages,
 		Trace:      res.Trace,
-	}
+	}, nil
 }
 
 // BlockSizes returns the number of vertices per block.
@@ -117,7 +121,7 @@ func (b *Blocks) BlockSizes() []int {
 // PageRank on its local subgraph to convergence and uses the local scores as
 // the initial guess, which cuts the global iterations needed for a given
 // residual (Blogel's "block-level computation first" pattern).
-func (b *Blocks) PageRank(globalIters int, workers int) []float64 {
+func (b *Blocks) PageRank(globalIters int, workers int) ([]float64, error) {
 	n := b.G.NumVertices()
 	// local phase: exact PageRank on each block's induced subgraph
 	init := make([]float64, n)
@@ -130,7 +134,10 @@ func (b *Blocks) PageRank(globalIters int, workers int) []float64 {
 			continue
 		}
 		sub, newToOld := b.G.InducedSubgraph(vs)
-		local, _ := pregel.PageRank(sub, 15, pregel.Config{Workers: 1})
+		local, _, err := pregel.PageRank(sub, 15, pregel.Config{Workers: 1})
+		if err != nil {
+			return nil, err
+		}
 		scale := float64(len(vs)) / float64(n)
 		for i, old := range newToOld {
 			init[old] = local[i] * scale
@@ -156,5 +163,5 @@ func (b *Blocks) PageRank(globalIters int, workers int) []float64 {
 		}
 		cur = next
 	}
-	return cur
+	return cur, nil
 }

@@ -55,7 +55,10 @@ func TestBlockCCMatchesSerial(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		g := gen.ErdosRenyi(300, 350, seed) // sparse: several components
 		b := Build(g, partition.Hash(g, 4))
-		res := b.ConnectedComponents(4)
+		res, err := b.ConnectedComponents(4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want, wantCount := graph.ConnectedComponents(g)
 		seen := map[int32]bool{}
 		for _, l := range res.Labels {
@@ -83,9 +86,9 @@ func TestBlockCCBeatsVertexCentric(t *testing.T) {
 		bld.AddEdge(graph.V(v), graph.V(v+1))
 	}
 	g := bld.Build()
-	_, vres := pregel.HashMinCC(g, pregel.Config{Workers: 4, MaxSupersteps: 10000})
+	_, vres, _ := pregel.HashMinCC(g, pregel.Config{Workers: 4, MaxSupersteps: 10000})
 	b := Build(g, partition.Range(g, 8))
-	bres := b.ConnectedComponents(4)
+	bres, _ := b.ConnectedComponents(4)
 	if bres.Supersteps >= vres.Supersteps/10 {
 		t.Fatalf("block-centric %d rounds not ≪ vertex-centric %d", bres.Supersteps, vres.Supersteps)
 	}
@@ -96,9 +99,9 @@ func TestBlockCCBeatsVertexCentric(t *testing.T) {
 
 func TestBlockPageRankApproximatesExact(t *testing.T) {
 	g := gen.PlantedPartitionSparse(300, 3, 10, 1, 5).Graph
-	exact, _ := pregel.PageRank(g, 50, pregel.Config{Workers: 4})
+	exact, _, _ := pregel.PageRank(g, 50, pregel.Config{Workers: 4})
 	b := Build(g, partition.Metis(g, 3))
-	approx := b.PageRank(10, 4)
+	approx, _ := b.PageRank(10, 4)
 	// warm-started run with few global iterations should land close
 	var maxDiff float64
 	for v := range exact {
@@ -122,7 +125,7 @@ func TestBlockPageRankApproximatesExact(t *testing.T) {
 func TestBlocksDisconnectedGraph(t *testing.T) {
 	g := graph.FromEdges(6, [][2]graph.V{{0, 1}, {2, 3}, {4, 5}})
 	b := Build(g, partition.Hash(g, 2))
-	res := b.ConnectedComponents(2)
+	res, _ := b.ConnectedComponents(2)
 	seen := map[int32]bool{}
 	for _, l := range res.Labels {
 		seen[l] = true

@@ -16,8 +16,9 @@ import (
 
 // Cluster models a set of workers connected by a metered network.
 type Cluster struct {
-	n   int
-	net *Network
+	n      int
+	net    *Network
+	faults *FaultInjector // nil unless InstallFaults was called
 
 	mu   sync.Mutex
 	busy []float64 // cumulative per-worker busy time, seconds
@@ -36,6 +37,21 @@ func (c *Cluster) NumWorkers() int { return c.n }
 
 // Network returns the cluster's metered network.
 func (c *Cluster) Network() *Network { return c.net }
+
+// InstallFaults installs a fault plan on the cluster and its network: the
+// network starts dropping/retrying messages per the plan, Run credits
+// straggler-slowed busy time, and engines observe the planned crash through
+// the returned injector. Call before the run starts.
+func (c *Cluster) InstallFaults(plan FaultPlan) *FaultInjector {
+	fi := NewFaultInjector(plan)
+	c.faults = fi
+	c.net.setFaults(fi)
+	return fi
+}
+
+// Faults returns the installed fault injector, or nil (which is safe to call
+// methods on) when the run is fault-free.
+func (c *Cluster) Faults() *FaultInjector { return c.faults }
 
 // Run executes fn concurrently on every worker (fn receives the worker id)
 // and blocks until all complete. Each worker's wall time is credited to its
@@ -63,7 +79,9 @@ func (c *Cluster) Run(fn func(worker int)) {
 	wg.Wait()
 	c.mu.Lock()
 	for w, sec := range elapsed {
-		c.busy[w] += sec
+		// a planned straggler is credited factor× its wall time, so the
+		// slowdown shows up in busy-time skew exactly like a real slow node
+		c.busy[w] += sec * c.faults.SlowFactor(w)
 	}
 	c.mu.Unlock()
 	var failed []string

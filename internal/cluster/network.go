@@ -27,6 +27,7 @@ type Network struct {
 	rounds   atomic.Int64
 
 	traceOn atomic.Bool
+	faults  atomic.Pointer[FaultInjector] // non-nil once a fault plan is installed
 
 	mu       sync.Mutex
 	linkCost [][]float64 // guarded by mu: SetLinkCost may race with Account
@@ -97,9 +98,18 @@ func (net *Network) EnableTrace() {
 // Tracing reports whether per-link/per-round tracing is enabled.
 func (net *Network) Tracing() bool { return net.traceOn.Load() }
 
+// setFaults attaches a fault injector; subsequent cross-worker transfers are
+// subject to the plan's message drops with metered retransmission.
+func (net *Network) setFaults(fi *FaultInjector) { net.faults.Store(fi) }
+
 // Account records a transfer of size bytes from worker i to worker j.
 // It carries no payload; payload delivery is the caller's concern (Mailboxes,
 // shared structures). Local transfers (i==j) are metered separately.
+//
+// Under an installed FaultPlan with DropProb > 0, a cross-worker transfer may
+// be "dropped" and retransmitted: the message is always eventually delivered
+// (bounded by MaxRetries), but every failed attempt is accounted as real link
+// traffic — the wasted bytes a lossy network actually carries.
 func (net *Network) Account(i, j int, size int64) {
 	net.checkLink(i, j)
 	if i == j {
@@ -111,17 +121,18 @@ func (net *Network) Account(i, j int, size int64) {
 		}
 		return
 	}
-	net.messages.Add(1)
-	net.bytes.Add(size)
+	attempts := int64(1 + net.faults.Load().drawDrops(size))
+	net.messages.Add(attempts)
+	net.bytes.Add(size * attempts)
 	net.mu.Lock()
-	c := float64(size) * net.linkCost[i][j]
+	c := float64(size*attempts) * net.linkCost[i][j]
 	net.cost += c
 	if net.traceOn.Load() {
 		k := i*net.n + j
-		net.linkBytes[k] += size
-		net.linkMsgs[k]++
-		net.cur.Messages++
-		net.cur.Bytes += size
+		net.linkBytes[k] += size * attempts
+		net.linkMsgs[k] += attempts
+		net.cur.Messages += attempts
+		net.cur.Bytes += size * attempts
 		net.cur.WeightedCost += c
 	}
 	net.mu.Unlock()

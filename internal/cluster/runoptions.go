@@ -1,0 +1,45 @@
+package cluster
+
+// RunOptions is the cross-cutting runtime configuration shared by every
+// engine built on the cluster runtime (pregel, blogel, quegel, gnndist).
+// Engine configs embed it, so observability, topology and fault injection
+// are wired once here instead of per engine:
+//
+//	cfg := pregel.Config{
+//	    Workers:    8,
+//	    RunOptions: cluster.RunOptions{
+//	        Trace:    true,
+//	        Topology: func(net *cluster.Network) { cluster.RingTopology(net, 4, 0.05) },
+//	        Faults:   &cluster.FaultPlan{CrashAtRound: 3},
+//	    },
+//	}
+type RunOptions struct {
+	// Trace enables the observability layer: per-link and per-round network
+	// tracing plus per-worker busy metering. The collected obs.Trace is
+	// attached to the engine's result.
+	Trace bool
+	// Topology, if non-nil, configures the cluster's network link costs
+	// before the run starts — e.g. cluster.RingTopology for an NVLink-style
+	// hosts-of-fast-links layout.
+	Topology func(net *Network)
+	// Faults, if non-nil, is the fault plan the runtime injects (worker
+	// crash, straggler slowdown, lossy links with metered retries).
+	Faults *FaultPlan
+}
+
+// Apply configures a freshly created cluster according to the options:
+// topology first, then tracing, then fault injection. It returns the
+// installed fault injector, or nil when no faults are planned; the nil
+// injector is safe to use (all its methods are nil-receiver no-ops).
+func (o RunOptions) Apply(c *Cluster) *FaultInjector {
+	if o.Topology != nil {
+		o.Topology(c.Network())
+	}
+	if o.Trace {
+		c.Network().EnableTrace()
+	}
+	if o.Faults != nil && o.Faults.active() {
+		return c.InstallFaults(*o.Faults)
+	}
+	return nil
+}

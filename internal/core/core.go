@@ -48,36 +48,38 @@ func NewPipeline(g *graph.Graph, workers int) *Pipeline {
 
 // PageRank returns damped PageRank scores (TLAV engine).
 func (p *Pipeline) PageRank(iters int) []float64 {
-	scores, _ := pregel.PageRank(p.G, iters, pregel.Config{Workers: p.Workers})
+	scores, _, _ := pregel.PageRank(p.G, iters, pregel.Config{Workers: p.Workers})
 	return scores
 }
 
 // DegreeCentrality returns per-vertex degrees as scores.
 func (p *Pipeline) DegreeCentrality() []float64 {
-	return pregel.DegreeCentrality(p.G, pregel.Config{Workers: p.Workers})
+	d, _ := pregel.DegreeCentrality(p.G, pregel.Config{Workers: p.Workers})
+	return d
 }
 
 // RandomWalkScores returns random-walk visit counts (PPR-style scoring).
 func (p *Pipeline) RandomWalkScores(walksPerVertex, walkLen int, seed int64) []int64 {
-	visits, _ := pregel.RandomWalkVisits(p.G, walksPerVertex, walkLen, seed, pregel.Config{Workers: p.Workers})
+	visits, _, _ := pregel.RandomWalkVisits(p.G, walksPerVertex, walkLen, seed, pregel.Config{Workers: p.Workers})
 	return visits
 }
 
 // ConnectedComponents returns per-vertex component labels (HashMin).
 func (p *Pipeline) ConnectedComponents() []int32 {
-	labels, _ := pregel.HashMinCC(p.G, pregel.Config{Workers: p.Workers})
+	labels, _, _ := pregel.HashMinCC(p.G, pregel.Config{Workers: p.Workers})
 	return labels
 }
 
 // LabelPropagation returns community labels after the given rounds of
 // majority label propagation.
 func (p *Pipeline) LabelPropagation(rounds int) []int32 {
-	return pregel.LabelPropagation(p.G, rounds, pregel.Config{Workers: p.Workers})
+	labels, _ := pregel.LabelPropagation(p.G, rounds, pregel.Config{Workers: p.Workers})
+	return labels
 }
 
 // KCoreMembers returns the vertices of the k-core (distributed peeling).
 func (p *Pipeline) KCoreMembers(k int32) []graph.V {
-	member := pregel.KCore(p.G, k, pregel.Config{Workers: p.Workers})
+	member, _ := pregel.KCore(p.G, k, pregel.Config{Workers: p.Workers})
 	var out []graph.V
 	for v, m := range member {
 		if m {

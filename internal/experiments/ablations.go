@@ -73,7 +73,7 @@ func AblationCombiner() *Table {
 	for _, n := range []int{1000, 4000} {
 		g := gen.BarabasiAlbert(n, 6, int64(n))
 		var withRes *pregel.Result[int32]
-		dWith := timeIt(func() { _, withRes = pregel.HashMinCC(g, pregel.Config{Workers: 4}) })
+		dWith := timeIt(func() { _, withRes = must3(pregel.HashMinCC(g, pregel.Config{Workers: 4})) })
 		prog := pregel.Program[int32, int32]{
 			Init: func(g *graph.Graph, v graph.V) int32 { return int32(v) },
 			Compute: func(ctx *pregel.Context[int32], v graph.V, state *int32, msgs []int32) {
@@ -96,7 +96,7 @@ func AblationCombiner() *Table {
 			},
 		}
 		var noRes *pregel.Result[int32]
-		dWithout := timeIt(func() { noRes = pregel.Run(g, prog, pregel.Config{Workers: 4}) })
+		dWithout := timeIt(func() { noRes = must2(pregel.Run(g, prog, pregel.Config{Workers: 4})) })
 		t.AddRow(itoa(int64(n)), "yes", withRes.Net.Messages, withRes.Supersteps, dWith)
 		t.AddRow(itoa(int64(n)), "no", noRes.Net.Messages, noRes.Supersteps, dWithout)
 	}

@@ -31,7 +31,7 @@ func ClaimTriangle() *Table {
 		g := gen.BarabasiAlbert(n, 10, int64(n))
 		var mrCount int64
 		var mrRes *pregel.Result[int64]
-		mrTime := timeIt(func() { mrCount, mrRes = pregel.TriangleCountMR(g, pregel.Config{Workers: 4}) })
+		mrTime := timeIt(func() { mrCount, mrRes = must3(pregel.TriangleCountMR(g, pregel.Config{Workers: 4})) })
 		var serialCount int64
 		serialTime := timeIt(func() { serialCount = graph.TriangleCount(g) })
 		if mrCount != serialCount {
@@ -53,7 +53,7 @@ func ClaimTLAV() *Table {
 		Header: []string{"|V|", "|E|", "rounds", "log2|V|", "msgs/round / (V+E)"}}
 	for _, n := range []int{500, 2000, 8000} {
 		g := gen.ErdosRenyi(n, int64(4*n), int64(n))
-		_, res := pregel.HashMinCC(g, pregel.Config{Workers: 4})
+		_, res := must3(pregel.HashMinCC(g, pregel.Config{Workers: 4}))
 		perRound := float64(res.Net.Messages+res.Net.LocalMessages) / float64(res.Supersteps)
 		t.AddRow(n, g.NumEdges(), res.Supersteps, fmt.Sprintf("%.1f", math.Log2(float64(n))),
 			fmt.Sprintf("%.2f", perRound/float64(int64(n)+g.NumEdges())))

@@ -119,6 +119,26 @@ func ByID(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
+// must/must2/must3 unwrap engine results inside experiments: experiment
+// configs are hard-coded and valid, so an error here is a programming bug
+// worth a panic (cmd/graphbench recovers it into a stderr report and a
+// non-zero exit instead of a half-printed table).
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+func must2[T any](v T, err error) T {
+	must(err)
+	return v
+}
+
+func must3[A, B any](a A, b B, err error) (A, B) {
+	must(err)
+	return a, b
+}
+
 // timeIt runs fn and returns its duration.
 func timeIt(fn func()) time.Duration {
 	start := time.Now()

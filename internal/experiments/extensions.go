@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"graphsys/internal/blogel"
+	"graphsys/internal/cluster"
 	"graphsys/internal/core"
 	"graphsys/internal/gnn"
 	"graphsys/internal/gnndist"
@@ -52,9 +53,9 @@ func ExtQuegel() *Table {
 		}
 		cfg := pregel.Config{Workers: 4}
 		var bst quegel.Stats
-		db := timeIt(func() { _, bst = quegel.AnswerBatched(g, queries, cfg) })
+		db := timeIt(func() { _, bst = must3(quegel.AnswerBatched(g, queries, cfg)) })
 		var sst quegel.Stats
-		ds := timeIt(func() { _, sst = quegel.AnswerSequential(g, queries, cfg) })
+		ds := timeIt(func() { _, sst = must3(quegel.AnswerSequential(g, queries, cfg)) })
 		t.AddRow(nq, "batched (Quegel)", bst.Supersteps, bst.Messages, db)
 		t.AddRow(nq, "sequential", sst.Supersteps, sst.Messages, ds)
 	}
@@ -80,13 +81,13 @@ func ExtBlogel() *Table {
 	for _, bld := range builds {
 		g := bld.g
 		var vres *pregel.Result[int32]
-		dv := timeIt(func() { _, vres = pregel.HashMinCC(g, pregel.Config{Workers: 4, MaxSupersteps: 100000}) })
+		dv := timeIt(func() { _, vres = must3(pregel.HashMinCC(g, pregel.Config{Workers: 4, MaxSupersteps: 100000})) })
 		t.AddRow(bld.name, "vertex-centric (Pregel)", vres.Supersteps,
 			vres.Net.Messages+vres.Net.LocalMessages, dv)
 		var bres blogel.CCResult
 		db := timeIt(func() {
 			blocks := blogel.Build(g, partition.Metis(g, 16))
-			bres = blocks.ConnectedComponents(4)
+			bres = must2(blocks.ConnectedComponents(4))
 		})
 		t.AddRow(bld.name, "block-centric (Blogel)", bres.Supersteps, bres.Messages, db)
 	}
@@ -112,9 +113,10 @@ func ExtFaultTolerance() *Table {
 		return true
 	}
 	for _, every := range []int{0, 1, 2, 4} {
-		res := pregel.Run(g, hashMinProgram(), pregel.Config{
-			Workers: 4, CheckpointEvery: every, FailAtStep: 5,
-		})
+		res := must2(pregel.Run(g, hashMinProgram(), pregel.Config{
+			Workers: 4, CheckpointEvery: every,
+			RunOptions: cluster.RunOptions{Faults: &cluster.FaultPlan{CrashAtRound: 5}},
+		}))
 		name := "never (restart)"
 		if every > 0 {
 			name = itoa(int64(every))
@@ -196,9 +198,9 @@ func ExtFeatureCompression() *Table {
 	task := gnn.SyntheticCommunityTask(300, 3, 2, 0.3, 17)
 	var base int64
 	for _, bits := range []int{32, 8, 4, 2} {
-		res := gnndist.TrainSync(task, gnndist.TrainerConfig{
+		res := must2(gnndist.TrainSync(task, gnndist.TrainerConfig{
 			Workers: 4, TimeBudget: 20, Seed: 21, FeatureBits: bits,
-		})
+		}))
 		if bits == 32 {
 			base = res.Net.Bytes
 		}

@@ -25,13 +25,15 @@ func ObsHeteroMatrix() *Table {
 		fastCost = 0.05
 	)
 	g := gen.RMAT(10, 8, 7)
-	_, res := pregel.PageRank(g, 10, pregel.Config{
+	_, res := must3(pregel.PageRank(g, 10, pregel.Config{
 		Workers: workers,
-		Trace:   true,
-		Topology: func(net *cluster.Network) {
-			cluster.RingTopology(net, perHost, fastCost)
+		RunOptions: cluster.RunOptions{
+			Trace: true,
+			Topology: func(net *cluster.Network) {
+				cluster.RingTopology(net, perHost, fastCost)
+			},
 		},
-	})
+	}))
 	tr := res.Trace
 	tr.Workload = "pregel/pagerank-hetero"
 

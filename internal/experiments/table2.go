@@ -69,9 +69,9 @@ func Table2Partitioning() *Table {
 	for _, pp := range parts {
 		var part *partition.Partition
 		ptime := timeIt(func() { part = pp.mk() })
-		res := gnndist.TrainSync(task, gnndist.TrainerConfig{
+		res := must2(gnndist.TrainSync(task, gnndist.TrainerConfig{
 			Workers: 4, TimeBudget: 15, Seed: 7, Part: part,
-		})
+		}))
 		t.AddRow(pp.name, ptime, part.EdgeCut(task.G), fmt.Sprintf("%.2f", part.Imbalance()),
 			fmt.Sprintf("%.3f", res.RemoteFrac), res.Net.Bytes, res.TestAcc)
 	}
@@ -85,9 +85,9 @@ func Table2Sampling() *Table {
 		Header: []string{"fanout", "net bytes", "remote frac", "test acc"}}
 	task := table2Task()
 	for _, fanout := range []int{2, 4, 8, 16, 32} {
-		res := gnndist.TrainSync(task, gnndist.TrainerConfig{
+		res := must2(gnndist.TrainSync(task, gnndist.TrainerConfig{
 			Workers: 4, TimeBudget: 15, Seed: 8, Fanouts: []int{fanout, fanout},
-		})
+		}))
 		t.AddRow(fmt.Sprintf("%d,%d", fanout, fanout), res.Net.Bytes,
 			fmt.Sprintf("%.3f", res.RemoteFrac), res.TestAcc)
 	}
@@ -101,9 +101,9 @@ func Table2Caching() *Table {
 		Header: []string{"cache size", "remote fetches", "cache hits", "net bytes", "test acc"}}
 	task := table2Task()
 	for _, size := range []int{0, 16, 64, 256} {
-		res := gnndist.TrainSyncWithStats(task, gnndist.TrainerConfig{
+		res := must2(gnndist.TrainSyncWithStats(task, gnndist.TrainerConfig{
 			Workers: 4, TimeBudget: 15, Seed: 9, CacheSize: size,
-		})
+		}))
 		t.AddRow(size, res.Misses, res.Hits, res.Result.Net.Bytes, res.Result.TestAcc)
 	}
 	t.Note("caching the high-degree vertices absorbs most remote fetches on skewed graphs")
@@ -156,23 +156,23 @@ func Table2Staleness() *Table {
 	task := table2Task()
 	speeds := []float64{1, 1, 1, 5}
 	base := gnndist.TrainerConfig{Workers: 4, TimeBudget: 40, WorkerSpeed: speeds, Seed: 10}
-	sync := gnndist.TrainSync(task, base)
+	sync := must2(gnndist.TrainSync(task, base))
 	t.AddRow("sync (DistDGL-style)", sync.Steps, sync.SyncRounds, 0, sync.Net.Bytes, sync.TestAcc)
 	for _, s := range []int{2, 8} {
 		cfg := base
 		cfg.Staleness = s
-		async := gnndist.TrainBoundedStale(task, cfg)
+		async := must2(gnndist.TrainBoundedStale(task, cfg))
 		t.AddRow(fmt.Sprintf("bounded staleness s=%d (Dorylus/P³)", s),
 			async.Steps, async.SyncRounds, 0, async.Net.Bytes, async.TestAcc)
 	}
 	cfg := base
 	cfg.SancusTau = 5e-3
 	cfg.TimeBudget = 200 // same number of rounds as sync (40 rounds at cost 5)
-	sancus := gnndist.TrainSancus(task, cfg)
+	sancus := must2(gnndist.TrainSancus(task, cfg))
 	t.AddRow("Sancus adaptive (40 rounds)", sancus.Steps, sancus.SyncRounds, sancus.Skipped, sancus.Net.Bytes, sancus.TestAcc)
 	syncLong := base
 	syncLong.TimeBudget = 200
-	sl := gnndist.TrainSync(task, syncLong)
+	sl := must2(gnndist.TrainSync(task, syncLong))
 	t.AddRow("sync (40 rounds)", sl.Steps, sl.SyncRounds, 0, sl.Net.Bytes, sl.TestAcc)
 	t.Note("asynchrony lands more gradient steps in the same simulated time when a straggler gates synchronous rounds")
 	t.Note("Sancus skips broadcasts once updates shrink, cutting bytes at matched round count")
@@ -189,9 +189,9 @@ func Table2Quantization() *Table {
 		bits int
 		ec   bool
 	}{{32, false}, {8, false}, {8, true}, {4, false}, {4, true}, {2, false}, {2, true}} {
-		res := gnndist.TrainSync(task, gnndist.TrainerConfig{
+		res := must2(gnndist.TrainSync(task, gnndist.TrainerConfig{
 			Workers: 4, TimeBudget: 30, Seed: 11, QuantBits: cfg.bits, QuantCompensate: cfg.ec,
-		})
+		}))
 		if cfg.bits == 32 {
 			fp32Bytes = res.GradBytes
 		}

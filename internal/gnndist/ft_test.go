@@ -1,0 +1,215 @@
+package gnndist
+
+import (
+	"strings"
+	"testing"
+
+	"graphsys/internal/cluster"
+)
+
+// crashPlan injects a single worker crash at round r.
+func crashPlan(r int) cluster.RunOptions {
+	return cluster.RunOptions{Trace: true, Faults: &cluster.FaultPlan{CrashAtRound: r, CrashWorker: 1}}
+}
+
+// TestSyncCrashRecoveryExactLoss is the tentpole acceptance check: a crash
+// mid-training must roll back to the last checkpoint and replay to the EXACT
+// fault-free result — same loss, same accuracy, same step count — because the
+// snapshot carries weights, Adam moments and every worker's RNG position.
+func TestSyncCrashRecoveryExactLoss(t *testing.T) {
+	task := distTask()
+	base := TrainerConfig{Workers: 4, TimeBudget: 12, Seed: 21}
+	clean, err := TrainSync(task, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := base
+	faulty.CheckpointEvery = 2
+	faulty.RunOptions = crashPlan(5)
+	got, err := TrainSync(task, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Loss != clean.Loss || got.TestAcc != clean.TestAcc {
+		t.Fatalf("recovered run diverged: loss %v vs %v, acc %v vs %v",
+			got.Loss, clean.Loss, got.TestAcc, clean.TestAcc)
+	}
+	if got.Steps != clean.Steps || got.SimTime != clean.SimTime {
+		t.Fatalf("committed schedule differs: steps %d vs %d, time %v vs %v",
+			got.Steps, clean.Steps, got.SimTime, clean.SimTime)
+	}
+	// the replayed round is visible as recovery cost, not hidden
+	if got.Trace == nil || got.Trace.Recovery == nil {
+		t.Fatal("recovery stats missing from trace")
+	}
+	r := got.Trace.Recovery
+	if r.Crashes != 1 {
+		t.Fatalf("crashes = %d", r.Crashes)
+	}
+	if r.RecoveredRounds != 1 { // crashed at 5, checkpoint at 4
+		t.Fatalf("recovered rounds = %d, want 1", r.RecoveredRounds)
+	}
+	if r.Checkpoints == 0 || r.CheckpointBytes == 0 {
+		t.Fatalf("checkpoint volume not metered: %+v", r)
+	}
+	// replayed rounds re-send real traffic
+	if got.Net.Bytes <= clean.Net.Bytes {
+		t.Fatalf("recovery traffic invisible: %d vs %d bytes", got.Net.Bytes, clean.Net.Bytes)
+	}
+}
+
+// Without explicit checkpoints the run restarts from the implicit round-0
+// snapshot — more recomputation, same exact final model.
+func TestSyncCrashWithoutCheckpointRestarts(t *testing.T) {
+	task := distTask()
+	base := TrainerConfig{Workers: 4, TimeBudget: 10, Seed: 22}
+	clean, _ := TrainSync(task, base)
+	faulty := base
+	faulty.RunOptions = crashPlan(4)
+	got, err := TrainSync(task, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Loss != clean.Loss || got.Steps != clean.Steps {
+		t.Fatalf("restart diverged: loss %v vs %v", got.Loss, clean.Loss)
+	}
+	if r := got.Trace.Recovery; r.RecoveredRounds != 4 {
+		t.Fatalf("full restart should replay 4 rounds, got %d", r.RecoveredRounds)
+	}
+}
+
+// Error-feedback residuals are part of the snapshot: with compensated
+// quantisation a crash must still replay to the exact fault-free model.
+func TestSyncCrashRecoveryQuantizedExact(t *testing.T) {
+	task := distTask()
+	base := TrainerConfig{Workers: 4, TimeBudget: 10, Seed: 23, QuantBits: 8, QuantCompensate: true}
+	clean, _ := TrainSync(task, base)
+	faulty := base
+	faulty.CheckpointEvery = 3
+	faulty.RunOptions = crashPlan(7)
+	got, err := TrainSync(task, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Loss != clean.Loss || got.GradBytes != clean.GradBytes {
+		t.Fatalf("quantized recovery diverged: loss %v vs %v, grad bytes %d vs %d",
+			got.Loss, clean.Loss, got.GradBytes, clean.GradBytes)
+	}
+}
+
+func TestBoundedStaleCrashRecoveryExact(t *testing.T) {
+	task := distTask()
+	base := TrainerConfig{Workers: 4, TimeBudget: 10, Seed: 24, Staleness: 3}
+	clean, _ := TrainBoundedStale(task, base)
+	faulty := base
+	faulty.CheckpointEvery = 8
+	faulty.RunOptions = crashPlan(20)
+	got, err := TrainBoundedStale(task, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Loss != clean.Loss || got.TestAcc != clean.TestAcc || got.Steps != clean.Steps {
+		t.Fatalf("bounded-stale recovery diverged: loss %v vs %v, steps %d vs %d",
+			got.Loss, clean.Loss, got.Steps, clean.Steps)
+	}
+	r := got.Trace.Recovery
+	if r == nil || r.Crashes != 1 || r.RecoveredRounds != 4 { // crash at event 20, ckpt at 16
+		t.Fatalf("recovery accounting wrong: %+v", r)
+	}
+}
+
+// An injected straggler must slow the whole synchronous schedule: same
+// simulated budget buys fewer rounds, and the skew meters see the slow worker.
+func TestStragglerInjectionGatesSyncRounds(t *testing.T) {
+	task := distTask()
+	base := TrainerConfig{Workers: 4, TimeBudget: 12, Seed: 25}
+	clean, _ := TrainSync(task, base)
+	slow := base
+	slow.RunOptions = cluster.RunOptions{
+		Trace:  true,
+		Faults: &cluster.FaultPlan{StragglerWorker: 2, StragglerFactor: 4},
+	}
+	got, err := TrainSync(task, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SyncRounds >= clean.SyncRounds {
+		t.Fatalf("straggler did not gate rounds: %d vs %d", got.SyncRounds, clean.SyncRounds)
+	}
+	busy := got.Trace.WorkerBusySec
+	if busy[2] <= busy[0] {
+		t.Fatalf("straggler busy time not metered: %v", busy)
+	}
+	if got.Trace.Skew.BusyImbalance <= 1.5 {
+		t.Fatalf("4x straggler invisible in skew: %f", got.Trace.Skew.BusyImbalance)
+	}
+}
+
+// Lossy links cost retransmission traffic but never change the result (the
+// runtime's delivery is reliable-with-retries).
+func TestLossyLinksMeterRetriesOnly(t *testing.T) {
+	task := distTask()
+	base := TrainerConfig{Workers: 4, TimeBudget: 8, Seed: 26}
+	clean, _ := TrainSync(task, base)
+	lossy := base
+	lossy.RunOptions = cluster.RunOptions{
+		Trace:  true,
+		Faults: &cluster.FaultPlan{DropProb: 0.3, DropSeed: 11},
+	}
+	got, err := TrainSync(task, lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Loss != clean.Loss || got.TestAcc != clean.TestAcc {
+		t.Fatalf("lossy links changed the result: loss %v vs %v", got.Loss, clean.Loss)
+	}
+	r := got.Trace.Recovery
+	if r == nil || r.DroppedMessages == 0 || r.RetryBytes == 0 {
+		t.Fatalf("retransmissions not metered: %+v", r)
+	}
+	if got.Net.Bytes != clean.Net.Bytes+r.RetryBytes {
+		t.Fatalf("retry bytes unaccounted: %d vs %d + %d", got.Net.Bytes, clean.Net.Bytes, r.RetryBytes)
+	}
+}
+
+func TestTrainerConfigValidation(t *testing.T) {
+	task := distTask()
+	_, err := TrainSync(task, TrainerConfig{Workers: 4, WorkerSpeed: []float64{1, 1}})
+	if err == nil || !strings.Contains(err.Error(), "WorkerSpeed has 2 entries") {
+		t.Fatalf("bad WorkerSpeed not rejected: %v", err)
+	}
+	_, err = TrainBoundedStale(task, TrainerConfig{QuantBits: 64})
+	if err == nil || !strings.Contains(err.Error(), "QuantBits") {
+		t.Fatalf("bad QuantBits not rejected: %v", err)
+	}
+	_, err = TrainSancus(task, TrainerConfig{Staleness: -1})
+	if err == nil || !strings.Contains(err.Error(), "Staleness") {
+		t.Fatalf("bad Staleness not rejected: %v", err)
+	}
+	_, err = TrainSyncWithStats(task, TrainerConfig{FeatureBits: 33})
+	if err == nil || !strings.Contains(err.Error(), "FeatureBits") {
+		t.Fatalf("bad FeatureBits not rejected: %v", err)
+	}
+}
+
+// countedSource.rewind must land the generator on the exact same draw
+// sequence the original source would have continued with.
+func TestCountedSourceRewind(t *testing.T) {
+	a := newCountedSource(99)
+	var prefix []uint64
+	for i := 0; i < 37; i++ {
+		prefix = append(prefix, a.Uint64())
+	}
+	mark := a.n
+	var tail []uint64
+	for i := 0; i < 20; i++ {
+		tail = append(tail, a.Uint64())
+	}
+	a.rewind(mark)
+	for i := 0; i < 20; i++ {
+		if got := a.Uint64(); got != tail[i] {
+			t.Fatalf("draw %d after rewind: %d want %d", i, got, tail[i])
+		}
+	}
+	_ = prefix
+}

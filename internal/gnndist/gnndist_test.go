@@ -136,7 +136,10 @@ func distTask() *gnn.Task {
 }
 
 func TestTrainSyncReachesAccuracy(t *testing.T) {
-	res := TrainSync(distTask(), TrainerConfig{Workers: 4, TimeBudget: 30, Seed: 1})
+	res, err := TrainSync(distTask(), TrainerConfig{Workers: 4, TimeBudget: 30, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.TestAcc < 0.8 {
 		t.Fatalf("sync accuracy %.3f", res.TestAcc)
 	}
@@ -148,8 +151,8 @@ func TestTrainSyncReachesAccuracy(t *testing.T) {
 func TestBoundedStaleBeatsSyncUnderStragglers(t *testing.T) {
 	task := distTask()
 	speeds := []float64{1, 1, 1, 5} // one 5× straggler
-	sync := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 40, WorkerSpeed: speeds, Seed: 2})
-	async := TrainBoundedStale(task, TrainerConfig{Workers: 4, TimeBudget: 40, WorkerSpeed: speeds, Staleness: 4, Seed: 2})
+	sync, _ := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 40, WorkerSpeed: speeds, Seed: 2})
+	async, _ := TrainBoundedStale(task, TrainerConfig{Workers: 4, TimeBudget: 40, WorkerSpeed: speeds, Staleness: 4, Seed: 2})
 	// sync applies one aggregated step per round of cost 5; async applies
 	// one step per worker-step, so it lands far more updates
 	if async.Steps <= sync.Steps*2 {
@@ -162,11 +165,11 @@ func TestBoundedStaleBeatsSyncUnderStragglers(t *testing.T) {
 
 func TestSancusSkipsBroadcasts(t *testing.T) {
 	task := distTask()
-	sancus := TrainSancus(task, TrainerConfig{Workers: 4, TimeBudget: 30, SancusTau: 1e-3, Seed: 3})
+	sancus, _ := TrainSancus(task, TrainerConfig{Workers: 4, TimeBudget: 30, SancusTau: 1e-3, Seed: 3})
 	if sancus.Skipped == 0 {
 		t.Fatal("Sancus never skipped a broadcast")
 	}
-	sync := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 30, Seed: 3})
+	sync, _ := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 30, Seed: 3})
 	if sancus.Net.Bytes >= sync.Net.Bytes {
 		t.Fatalf("Sancus bytes %d not below sync %d", sancus.Net.Bytes, sync.Net.Bytes)
 	}
@@ -177,8 +180,8 @@ func TestSancusSkipsBroadcasts(t *testing.T) {
 
 func TestQuantizedTrainingSavesBytesKeepsAccuracy(t *testing.T) {
 	task := distTask()
-	fp32 := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 25, Seed: 4})
-	int8 := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 25, Seed: 4, QuantBits: 8, QuantCompensate: true})
+	fp32, _ := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 25, Seed: 4})
+	int8, _ := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 25, Seed: 4, QuantBits: 8, QuantCompensate: true})
 	// per-row fp32 scales cap the ratio below 4× on skinny GNN weight
 	// matrices; 2× is the conservative expectation
 	if int8.GradBytes >= fp32.GradBytes/2 {
@@ -191,9 +194,9 @@ func TestQuantizedTrainingSavesBytesKeepsAccuracy(t *testing.T) {
 
 func TestPartitioningReducesRemoteFetches(t *testing.T) {
 	task := distTask()
-	hash := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 15, Seed: 5,
+	hash, _ := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 15, Seed: 5,
 		Part: partition.Hash(task.G, 4)})
-	metis := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 15, Seed: 5,
+	metis, _ := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 15, Seed: 5,
 		Part: partition.Metis(task.G, 4)})
 	if metis.RemoteFrac >= hash.RemoteFrac {
 		t.Fatalf("metis remote %.3f not below hash %.3f", metis.RemoteFrac, hash.RemoteFrac)
@@ -297,8 +300,8 @@ func TestRelChange(t *testing.T) {
 
 func TestFeatureCompressionReducesTraffic(t *testing.T) {
 	task := distTask()
-	fp32 := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 10, Seed: 14})
-	int4 := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 10, Seed: 14, FeatureBits: 4})
+	fp32, _ := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 10, Seed: 14})
+	int4, _ := TrainSync(task, TrainerConfig{Workers: 4, TimeBudget: 10, Seed: 14, FeatureBits: 4})
 	if int4.Net.Bytes >= fp32.Net.Bytes {
 		t.Fatalf("feature compression did not cut bytes: %d vs %d", int4.Net.Bytes, fp32.Net.Bytes)
 	}

@@ -78,6 +78,27 @@ func (q *Quantizer) Compress(m *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
+// SnapshotResidual deep-copies the error-feedback residual (nil when
+// compensation is off or the quantizer has not run yet). Together with
+// nn.AdamState it makes a training checkpoint complete: the residual feeds
+// into the next compressed push, so dropping it would change post-recovery
+// gradients.
+func (q *Quantizer) SnapshotResidual() *tensor.Matrix {
+	if q.residual == nil {
+		return nil
+	}
+	return q.residual.Clone()
+}
+
+// RestoreResidual rewinds the error-feedback residual to a snapshot.
+func (q *Quantizer) RestoreResidual(r *tensor.Matrix) {
+	if r == nil {
+		q.residual = nil
+		return
+	}
+	q.residual = r.Clone()
+}
+
 // CompressionRatio returns fp32 bytes / compressed bytes so far.
 func (q *Quantizer) CompressionRatio() float64 {
 	if q.BytesSent == 0 {

@@ -9,15 +9,20 @@ import (
 
 func TestTrainSyncCollectsTrace(t *testing.T) {
 	task := gnn.SyntheticCommunityTask(120, 3, 2, 0.3, 5)
-	res := TrainSync(task, TrainerConfig{
+	res, err := TrainSync(task, TrainerConfig{
 		Workers:     4,
-		Trace:       true,
 		TimeBudget:  10,
 		WorkerSpeed: []float64{1, 1, 1, 2}, // worker 3 straggles
-		Topology: func(net *cluster.Network) {
-			cluster.RingTopology(net, 2, 0.1)
+		RunOptions: cluster.RunOptions{
+			Trace: true,
+			Topology: func(net *cluster.Network) {
+				cluster.RingTopology(net, 2, 0.1)
+			},
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr := res.Trace
 	if tr == nil {
 		t.Fatal("Trace not collected")
@@ -48,18 +53,18 @@ func TestTrainSyncCollectsTrace(t *testing.T) {
 func TestTrainModesTraceOptIn(t *testing.T) {
 	task := gnn.SyntheticCommunityTask(80, 2, 2, 0.3, 9)
 	base := TrainerConfig{Workers: 2, TimeBudget: 4}
-	if res := TrainSync(task, base); res.Trace != nil {
+	if res, _ := TrainSync(task, base); res.Trace != nil {
 		t.Fatal("sync: trace without opt-in")
 	}
 	stale := base
 	stale.Staleness = 2
 	stale.Trace = true
-	if res := TrainBoundedStale(task, stale); res.Trace == nil || res.Trace.Workload != "gnndist/bounded-stale" {
+	if res, _ := TrainBoundedStale(task, stale); res.Trace == nil || res.Trace.Workload != "gnndist/bounded-stale" {
 		t.Fatal("bounded-stale: trace missing")
 	}
 	sanc := base
 	sanc.Trace = true
-	if res := TrainSancus(task, sanc); res.Trace == nil || len(res.Trace.RoundSeries) == 0 {
+	if res, _ := TrainSancus(task, sanc); res.Trace == nil || len(res.Trace.RoundSeries) == 0 {
 		t.Fatal("sancus: trace missing round series")
 	}
 }

@@ -1,6 +1,7 @@
 package gnndist
 
 import (
+	"fmt"
 	"math/rand"
 
 	"graphsys/internal/cluster"
@@ -45,13 +46,18 @@ type TrainerConfig struct {
 	// FeatureBits compresses remote feature fetches (F²CGT; 0/32 = off).
 	FeatureBits int
 
-	// Trace enables the observability layer: per-link/per-round network
-	// tracing plus per-worker SIMULATED busy time (WorkerSpeed units); the
-	// collected obs.Trace is attached to the DistResult.
-	Trace bool
-	// Topology, if non-nil, configures network link costs before training
-	// (e.g. cluster.RingTopology for NVLink-style hosts).
-	Topology func(net *cluster.Network)
+	// CheckpointEvery snapshots the full training state (weights, optimiser
+	// moments, per-worker RNG positions, error-feedback residuals) every that
+	// many rounds; an injected crash (RunOptions.Faults.CrashAtRound) rolls
+	// back to the latest snapshot and replays, converging to the exact
+	// fault-free result. 0 keeps only the implicit round-0 snapshot.
+	CheckpointEvery int
+
+	// RunOptions is the cross-cutting runtime configuration shared by every
+	// engine: Trace (observability opt-in, with per-worker SIMULATED busy
+	// time), Topology (link costs), Faults (crash/straggler/lossy-link
+	// injection).
+	cluster.RunOptions
 }
 
 func (c *TrainerConfig) defaults() {
@@ -84,10 +90,37 @@ func (c *TrainerConfig) defaults() {
 	}
 }
 
+// validate rejects inconsistent configurations with a clear error from the
+// exported entry points (TrainSync etc.) before any work starts.
+func (c *TrainerConfig) validate() error {
+	if len(c.WorkerSpeed) != c.Workers {
+		return fmt.Errorf("gnndist: TrainerConfig.WorkerSpeed has %d entries for %d workers", len(c.WorkerSpeed), c.Workers)
+	}
+	for w, s := range c.WorkerSpeed {
+		if s <= 0 {
+			return fmt.Errorf("gnndist: TrainerConfig.WorkerSpeed[%d] = %g, want > 0", w, s)
+		}
+	}
+	if c.QuantBits < 0 || c.QuantBits > 32 {
+		return fmt.Errorf("gnndist: TrainerConfig.QuantBits = %d, want 0..32", c.QuantBits)
+	}
+	if c.FeatureBits < 0 || c.FeatureBits > 32 {
+		return fmt.Errorf("gnndist: TrainerConfig.FeatureBits = %d, want 0..32", c.FeatureBits)
+	}
+	if c.Staleness < 0 {
+		return fmt.Errorf("gnndist: TrainerConfig.Staleness = %d, want >= 0", c.Staleness)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("gnndist: TrainerConfig.CheckpointEvery = %d, want >= 0", c.CheckpointEvery)
+	}
+	return nil
+}
+
 // DistResult reports a distributed training run.
 type DistResult struct {
 	TestAcc    float64
-	Steps      int64 // total gradient steps applied
+	Loss       float64 // final full-graph cross-entropy over labeled vertices
+	Steps      int64   // total gradient steps applied
 	SimTime    float64
 	SyncRounds int64
 	Skipped    int64 // Sancus: broadcasts skipped
@@ -105,25 +138,25 @@ type dist struct {
 	cfg   TrainerConfig
 	task  *gnn.Task
 	clst  *cluster.Cluster
+	fi    *cluster.FaultInjector
 	fs    *FeatureStore
 	dims  []int
 	shard [][]graph.V // train seeds per worker
+	srcs  []*countedSource
 	rngs  []*rand.Rand
 	quant []map[int]*Quantizer // per worker, per parameter index
 }
 
-func newDist(task *gnn.Task, cfg TrainerConfig) *dist {
+func newDist(task *gnn.Task, cfg TrainerConfig) (*dist, error) {
 	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Part == nil {
 		cfg.Part = partition.Hash(task.G, cfg.Workers)
 	}
 	d := &dist{cfg: cfg, task: task, clst: cluster.New(cfg.Workers)}
-	if cfg.Topology != nil {
-		cfg.Topology(d.clst.Network())
-	}
-	if cfg.Trace {
-		d.clst.Network().EnableTrace()
-	}
+	d.fi = cfg.RunOptions.Apply(d.clst)
 	d.fs = NewFeatureStore(task.X, cfg.Part, d.clst.Network())
 	d.fs.FeatureBits = cfg.FeatureBits
 	if cfg.CacheSize > 0 {
@@ -137,13 +170,21 @@ func newDist(task *gnn.Task, cfg TrainerConfig) *dist {
 		w := cfg.Part.Assign[s]
 		d.shard[w] = append(d.shard[w], s)
 	}
+	d.srcs = make([]*countedSource, cfg.Workers)
 	d.rngs = make([]*rand.Rand, cfg.Workers)
 	d.quant = make([]map[int]*Quantizer, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		d.rngs[w] = rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+		d.srcs[w] = newCountedSource(cfg.Seed + int64(w)*7919)
+		d.rngs[w] = rand.New(d.srcs[w])
 		d.quant[w] = map[int]*Quantizer{}
 	}
-	return d
+	return d, nil
+}
+
+// speed is the simulated cost of one step on worker w, including any injected
+// straggler slowdown.
+func (d *dist) speed(w int) float64 {
+	return d.cfg.WorkerSpeed[w] * d.fi.SlowFactor(w)
 }
 
 // weights is a parameter snapshot.
@@ -250,23 +291,35 @@ func (d *dist) gradStep(w int, snapshot weights) (weights, int64) {
 	return grads, sent
 }
 
-func (d *dist) evaluate(master weights) float64 {
+func (d *dist) evaluate(master weights) (acc, loss float64) {
 	eval := gnn.NewModel(d.task.G, d.cfg.Kind, d.dims, d.cfg.Seed)
 	for i, p := range eval.Params() {
 		copy(p.W.Data, master[i].Data)
 	}
 	logits := eval.Forward(d.task.X)
-	return nn.Accuracy(logits, d.task.Labels, d.task.TestMask)
+	loss, _ = nn.SoftmaxCrossEntropy(logits, d.task.Labels)
+	return nn.Accuracy(logits, d.task.Labels, d.task.TestMask), loss
+}
+
+// finish fills the result fields common to all training modes.
+func (d *dist) finish(res *DistResult, master weights, workload string) {
+	res.TestAcc, res.Loss = d.evaluate(master)
+	res.Net = d.clst.Network().Stats()
+	res.RemoteFrac = d.fs.RemoteFraction()
+	res.Trace = obs.Finish(d.cfg.RunOptions, workload, d.clst)
 }
 
 // TrainSync runs fully synchronous data-parallel training: every round all
 // workers compute gradients on the same weight version, gradients are
 // averaged on a parameter server, and new weights are broadcast. A round
 // costs the time of the SLOWEST worker (the straggler effect asynchronous
-// modes avoid).
-func TrainSync(task *gnn.Task, cfg TrainerConfig) DistResult {
-	res, _ := trainSync(task, cfg)
-	return res
+// modes avoid). Under an injected crash (RunOptions.Faults) the run rolls
+// back to the latest checkpoint and replays deterministically, so the final
+// model matches the fault-free run exactly; the replayed work is metered in
+// the trace's recovery section.
+func TrainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, error) {
+	res, _, err := trainSync(task, cfg)
+	return res, err
 }
 
 // SyncStats bundles a sync-training result with feature-store counters.
@@ -277,19 +330,42 @@ type SyncStats struct {
 
 // TrainSyncWithStats is TrainSync plus the feature-store cache counters
 // (used by the Table-2 caching experiment).
-func TrainSyncWithStats(task *gnn.Task, cfg TrainerConfig) SyncStats {
-	res, d := trainSync(task, cfg)
-	return SyncStats{Result: res, Hits: d.fs.Hits, Misses: d.fs.Misses, Local: d.fs.Local}
+func TrainSyncWithStats(task *gnn.Task, cfg TrainerConfig) (SyncStats, error) {
+	res, d, err := trainSync(task, cfg)
+	if err != nil {
+		return SyncStats{}, err
+	}
+	return SyncStats{Result: res, Hits: d.fs.Hits, Misses: d.fs.Misses, Local: d.fs.Local}, nil
 }
 
-func trainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, *dist) {
-	d := newDist(task, cfg)
+func trainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, *dist, error) {
+	d, err := newDist(task, cfg)
+	if err != nil {
+		return DistResult{}, nil, err
+	}
 	cfg = d.cfg
 	masterModel, master := newMaster(d)
 	opt := nn.NewAdam(cfg.LR)
+	params := masterModel.Params()
 	ps := 0 // parameter-server worker
 	var res DistResult
-	for res.SimTime < cfg.TimeBudget {
+
+	// implicit restart point: the freshly initialised model costs nothing to
+	// "checkpoint" (every worker can rebuild it from the seed)
+	last := d.snapshot(0, res, master, opt, params)
+	for r := 0; res.SimTime < cfg.TimeBudget; r++ {
+		if cfg.CheckpointEvery > 0 && r > 0 && r%cfg.CheckpointEvery == 0 {
+			last = d.snapshot(r, res, master, opt, params)
+			d.fi.NoteCheckpoint(last.bytes())
+		}
+		if d.fi.CrashDue(r) {
+			// a worker dies at the round barrier: every worker reloads the
+			// last snapshot and the lost rounds are replayed (deterministic —
+			// RNG positions and optimiser moments are part of the snapshot)
+			d.fi.NoteRecovery(r-last.round, res.SimTime-last.res.SimTime)
+			res = d.restore(last, master, opt, params)
+			r = last.round
+		}
 		// all workers compute on the same version
 		var roundMax float64
 		for w := 0; w < cfg.Workers; w++ {
@@ -297,16 +373,17 @@ func trainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, *dist) {
 			res.GradBytes += sent
 			if grads != nil {
 				d.clst.Network().Account(w, ps, sent)
-				for i, p := range masterModel.Params() {
+				for i, p := range params {
 					p.Grad.AddScaled(grads[i], 1/float32(cfg.Workers))
 				}
 			}
-			d.clst.AddBusy(w, cfg.WorkerSpeed[w])
-			if cfg.WorkerSpeed[w] > roundMax {
-				roundMax = cfg.WorkerSpeed[w]
+			sp := d.speed(w)
+			d.clst.AddBusy(w, sp)
+			if sp > roundMax {
+				roundMax = sp
 			}
 		}
-		opt.Step(masterModel.Params())
+		opt.Step(params)
 		res.Steps++
 		res.SyncRounds++
 		// broadcast new weights
@@ -319,13 +396,8 @@ func trainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, *dist) {
 		d.clst.Network().AccountRound()
 		res.SimTime += roundMax
 	}
-	res.TestAcc = d.evaluate(master)
-	res.Net = d.clst.Network().Stats()
-	res.RemoteFrac = d.fs.RemoteFraction()
-	if cfg.Trace {
-		res.Trace = obs.Collect("gnndist/sync", d.clst)
-	}
-	return res, d
+	d.finish(&res, master, "gnndist/sync")
+	return res, d, nil
 }
 
 // TrainBoundedStale runs asynchronous training with bounded staleness
@@ -333,11 +405,18 @@ func trainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, *dist) {
 // the parameter server as they complete and pulling fresh weights only when
 // its version lag exceeds cfg.Staleness. Stragglers no longer gate the
 // round, so more gradient steps land within the same simulated time budget.
-func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) DistResult {
-	d := newDist(task, cfg)
+// Crash recovery mirrors TrainSync: scheduler events count as rounds for
+// CheckpointEvery/CrashAtRound, and a snapshot additionally carries each
+// worker's stale weight copy and version clock.
+func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) (DistResult, error) {
+	d, err := newDist(task, cfg)
+	if err != nil {
+		return DistResult{}, err
+	}
 	cfg = d.cfg
 	masterModel, master := newMaster(d)
 	opt := nn.NewAdam(cfg.LR)
+	params := masterModel.Params()
 	ps := 0
 	var res DistResult
 
@@ -348,11 +427,59 @@ func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) DistResult {
 	for w := range local {
 		local[w] = cloneWeights(master)
 	}
-	for {
+	type staleCkpt struct {
+		base          *syncCkpt
+		clock         []float64
+		local         []weights
+		version       []int64
+		masterVersion int64
+	}
+	takeStale := func(ev int) *staleCkpt {
+		s := &staleCkpt{
+			base:          d.snapshot(ev, res, master, opt, params),
+			clock:         append([]float64(nil), clock...),
+			version:       append([]int64(nil), version...),
+			masterVersion: masterVersion,
+			local:         make([]weights, len(local)),
+		}
+		for w := range local {
+			s.local[w] = cloneWeights(local[w])
+		}
+		return s
+	}
+	last := takeStale(0)
+	maxClock := func(c []float64) float64 {
+		var m float64
+		for _, t := range c {
+			if t > m {
+				m = t
+			}
+		}
+		return m
+	}
+	for ev := 0; ; ev++ {
+		if cfg.CheckpointEvery > 0 && ev > 0 && ev%cfg.CheckpointEvery == 0 {
+			last = takeStale(ev)
+			// the per-worker stale copies are checkpoint state too
+			d.fi.NoteCheckpoint(last.base.bytes() + int64(cfg.Workers)*weightBytes(master))
+		}
+		if d.fi.CrashDue(ev) {
+			d.fi.NoteRecovery(ev-last.base.round, maxClock(clock)-maxClock(last.clock))
+			res = d.restore(last.base, master, opt, params)
+			copy(clock, last.clock)
+			copy(version, last.version)
+			masterVersion = last.masterVersion
+			for w := range local {
+				for i := range local[w] {
+					copy(local[w][i].Data, last.local[w][i].Data)
+				}
+			}
+			ev = last.base.round
+		}
 		// next worker to finish a step
 		next, best := -1, cfg.TimeBudget
 		for w := 0; w < cfg.Workers; w++ {
-			if t := clock[w] + cfg.WorkerSpeed[w]; t <= best {
+			if t := clock[w] + d.speed(w); t <= best {
 				next, best = w, t
 			}
 		}
@@ -361,7 +488,7 @@ func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) DistResult {
 		}
 		w := next
 		clock[w] = best
-		d.clst.AddBusy(w, cfg.WorkerSpeed[w])
+		d.clst.AddBusy(w, d.speed(w))
 		// pull if too stale
 		if masterVersion-version[w] > int64(cfg.Staleness) {
 			for i := range local[w] {
@@ -374,26 +501,17 @@ func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) DistResult {
 		res.GradBytes += sent
 		if grads != nil {
 			d.clst.Network().Account(w, ps, sent)
-			for i, p := range masterModel.Params() {
+			for i, p := range params {
 				p.Grad.AddInPlace(grads[i])
 			}
-			opt.Step(masterModel.Params())
+			opt.Step(params)
 			masterVersion++
 			res.Steps++
 		}
 	}
-	for _, c := range clock {
-		if c > res.SimTime {
-			res.SimTime = c
-		}
-	}
-	res.TestAcc = d.evaluate(master)
-	res.Net = d.clst.Network().Stats()
-	res.RemoteFrac = d.fs.RemoteFraction()
-	if cfg.Trace {
-		res.Trace = obs.Collect("gnndist/bounded-stale", d.clst)
-	}
-	return res
+	res.SimTime = maxClock(clock)
+	d.finish(&res, master, "gnndist/bounded-stale")
+	return res, nil
 }
 
 // TrainSancus runs synchronous rounds but with Sancus' staleness-aware
@@ -403,8 +521,11 @@ func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) DistResult {
 // computing on their (bounded-stale) cached weights and the broadcast is
 // skipped — saving bytes with negligible accuracy impact when updates are
 // small.
-func TrainSancus(task *gnn.Task, cfg TrainerConfig) DistResult {
-	d := newDist(task, cfg)
+func TrainSancus(task *gnn.Task, cfg TrainerConfig) (DistResult, error) {
+	d, err := newDist(task, cfg)
+	if err != nil {
+		return DistResult{}, err
+	}
 	cfg = d.cfg
 	if cfg.SancusTau == 0 {
 		cfg.SancusTau = 1e-4
@@ -425,9 +546,10 @@ func TrainSancus(task *gnn.Task, cfg TrainerConfig) DistResult {
 					p.Grad.AddScaled(grads[i], 1/float32(cfg.Workers))
 				}
 			}
-			d.clst.AddBusy(w, cfg.WorkerSpeed[w])
-			if cfg.WorkerSpeed[w] > roundMax {
-				roundMax = cfg.WorkerSpeed[w]
+			sp := d.speed(w)
+			d.clst.AddBusy(w, sp)
+			if sp > roundMax {
+				roundMax = sp
 			}
 		}
 		opt.Step(masterModel.Params())
@@ -449,11 +571,6 @@ func TrainSancus(task *gnn.Task, cfg TrainerConfig) DistResult {
 		d.clst.Network().AccountRound()
 		res.SimTime += roundMax
 	}
-	res.TestAcc = d.evaluate(master)
-	res.Net = d.clst.Network().Stats()
-	res.RemoteFrac = d.fs.RemoteFraction()
-	if cfg.Trace {
-		res.Trace = obs.Collect("gnndist/sancus", d.clst)
-	}
-	return res
+	d.finish(&res, master, "gnndist/sancus")
+	return res, nil
 }

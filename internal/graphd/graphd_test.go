@@ -67,7 +67,7 @@ func TestStreamedCCMatchesInMemory(t *testing.T) {
 func TestStreamedPageRankMatchesPregel(t *testing.T) {
 	g := gen.BarabasiAlbert(200, 4, 3)
 	ef := spill(t, g)
-	want, _ := pregel.PageRank(g, 20, pregel.Config{Workers: 4})
+	want, _, _ := pregel.PageRank(g, 20, pregel.Config{Workers: 4})
 	got, st, err := ef.PageRank(200, 20)
 	if err != nil {
 		t.Fatal(err)

@@ -230,6 +230,44 @@ func (o *Adam) Step(params []*Param) {
 	}
 }
 
+// AdamState is a deep snapshot of an Adam optimiser's step count and moment
+// estimates, aligned to the params slice it was taken against. It is the
+// optimiser half of a training checkpoint: restoring weights alone would
+// replay updates with wrong moments and diverge from the fault-free run.
+type AdamState struct {
+	T    int
+	M, V []*tensor.Matrix // nil entries: param had no moments yet
+}
+
+// Snapshot captures the optimiser state for params. The clones are deep, so
+// later Steps do not mutate the snapshot.
+func (o *Adam) Snapshot(params []*Param) AdamState {
+	st := AdamState{T: o.t, M: make([]*tensor.Matrix, len(params)), V: make([]*tensor.Matrix, len(params))}
+	for i, p := range params {
+		if m, ok := o.m[p]; ok {
+			st.M[i] = m.Clone()
+			st.V[i] = o.v[p].Clone()
+		}
+	}
+	return st
+}
+
+// Restore rewinds the optimiser to a snapshot taken against the same params
+// slice. The snapshot itself stays intact (restore clones), so one checkpoint
+// can be restored multiple times.
+func (o *Adam) Restore(params []*Param, st AdamState) {
+	o.t = st.T
+	for i, p := range params {
+		if st.M[i] == nil {
+			delete(o.m, p)
+			delete(o.v, p)
+			continue
+		}
+		o.m[p] = st.M[i].Clone()
+		o.v[p] = st.V[i].Clone()
+	}
+}
+
 // MSE computes the mean squared error between predictions and targets (both
 // rows×cols) and the gradient w.r.t. the predictions.
 func MSE(pred *tensor.Matrix, target *tensor.Matrix) (float64, *tensor.Matrix) {

@@ -180,3 +180,79 @@ func TestDropout(t *testing.T) {
 		t.Fatal("eval mode not identity")
 	}
 }
+
+func TestAdamSnapshotRestoreReplaysExactly(t *testing.T) {
+	// two optimisers, same gradient stream; one is rewound mid-run via a
+	// snapshot and replayed — final weights must match bit-for-bit
+	mkParams := func() []*Param {
+		return []*Param{
+			NewParam(tensor.Xavier(3, 4, 1)),
+			NewParam(tensor.Xavier(4, 2, 2)),
+		}
+	}
+	grad := func(step int, params []*Param) {
+		for pi, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] = float32(pi+1) * float32(i%5-2) * float32(step+1) * 0.01
+			}
+		}
+	}
+	ref := mkParams()
+	refOpt := NewAdam(0.05)
+	for s := 0; s < 10; s++ {
+		grad(s, ref)
+		refOpt.Step(ref)
+	}
+
+	got := mkParams()
+	opt := NewAdam(0.05)
+	var st AdamState
+	var saved []*tensor.Matrix
+	for s := 0; s < 7; s++ {
+		if s == 4 {
+			st = opt.Snapshot(got)
+			for _, p := range got {
+				saved = append(saved, p.W.Clone())
+			}
+		}
+		grad(s, got)
+		opt.Step(got)
+	}
+	// crash: rewind to step 4 and replay 4..9
+	opt.Restore(got, st)
+	for i, p := range got {
+		copy(p.W.Data, saved[i].Data)
+		p.ZeroGrad()
+	}
+	for s := 4; s < 10; s++ {
+		grad(s, got)
+		opt.Step(got)
+	}
+	for i := range ref {
+		if tensor.MaxAbsDiff(ref[i].W, got[i].W) != 0 {
+			t.Fatalf("param %d diverged after snapshot replay", i)
+		}
+	}
+}
+
+func TestAdamSnapshotBeforeFirstStep(t *testing.T) {
+	params := []*Param{NewParam(tensor.Xavier(2, 2, 3))}
+	opt := NewAdam(0.1)
+	st := opt.Snapshot(params) // no moments yet
+	if st.T != 0 || st.M[0] != nil {
+		t.Fatalf("fresh snapshot not empty: %+v", st)
+	}
+	grad := func() { params[0].Grad.Data[0] = 1 }
+	grad()
+	opt.Step(params)
+	opt.Restore(params, st)
+	if opt.Snapshot(params).T != 0 {
+		t.Fatal("restore did not rewind step count")
+	}
+	// moments map must be cleared so the next Step re-initialises
+	grad()
+	opt.Step(params)
+	if opt.Snapshot(params).T != 1 {
+		t.Fatal("step after restore did not count from zero")
+	}
+}

@@ -45,6 +45,11 @@ type Trace struct {
 	WorkerRecvMsgs []int64   `json:"worker_recv_msgs,omitempty"`
 
 	Skew Skew `json:"skew"`
+
+	// Recovery meters fault injection and recovery work (checkpoints taken,
+	// rounds re-executed after a crash, retry traffic on lossy links).
+	// Present only when the run executed a cluster.FaultPlan.
+	Recovery *cluster.RecoveryStats `json:"recovery,omitempty"`
 }
 
 // Skew summarises load imbalance and straggler skew.
@@ -89,7 +94,22 @@ func Collect(workload string, c *cluster.Cluster) *Trace {
 		}
 	}
 	t.Skew = computeSkew(t.WorkerBusySec, t.RoundSeries)
+	if fi := c.Faults(); fi != nil {
+		st := fi.Stats()
+		t.Recovery = &st
+	}
 	return t
+}
+
+// Finish is the one-call trace hookup for engines built on the cluster
+// runtime: it collects a Trace for the finished run when opts asked for one
+// and returns nil otherwise, so engines carry no per-engine tracing logic
+// beyond attaching the result.
+func Finish(opts cluster.RunOptions, workload string, c *cluster.Cluster) *Trace {
+	if !opts.Trace {
+		return nil
+	}
+	return Collect(workload, c)
 }
 
 func computeSkew(busy []float64, rounds []cluster.RoundStats) Skew {

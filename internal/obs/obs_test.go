@@ -172,6 +172,51 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestCollectRecoveryStats(t *testing.T) {
+	c := cluster.New(2)
+	fi := cluster.RunOptions{Trace: true, Faults: &cluster.FaultPlan{DropProb: 0.9, DropSeed: 3}}.Apply(c)
+	for k := 0; k < 50; k++ {
+		c.Network().Account(0, 1, 10)
+	}
+	fi.NoteCheckpoint(4096)
+	fi.NoteRecovery(2, 2.5)
+	tr := Collect("faulty", c)
+	if tr.Recovery == nil {
+		t.Fatal("recovery stats not collected")
+	}
+	r := tr.Recovery
+	if r.Checkpoints != 1 || r.CheckpointBytes != 4096 || r.RecoveredRounds != 2 || r.RecoveryTime != 2.5 {
+		t.Fatalf("engine-side recovery accounting wrong: %+v", r)
+	}
+	if r.DroppedMessages == 0 || r.RetryBytes == 0 {
+		t.Fatalf("runtime-side retry accounting missing: %+v", r)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"recovery": {`) || !strings.Contains(buf.String(), `"checkpoint_bytes": 4096`) {
+		t.Fatalf("recovery section missing from JSON export:\n%s", buf.String())
+	}
+	// fault-free runs must not grow a recovery section (golden compat)
+	if plain := Collect("plain", cluster.New(2)); plain.Recovery != nil {
+		t.Fatal("fault-free trace has recovery section")
+	}
+}
+
+func TestFinishRespectsOptIn(t *testing.T) {
+	c := cluster.New(2)
+	if tr := Finish(cluster.RunOptions{}, "w", c); tr != nil {
+		t.Fatal("Finish collected without opt-in")
+	}
+	opts := cluster.RunOptions{Trace: true}
+	opts.Apply(c)
+	tr := Finish(opts, "w", c)
+	if tr == nil || tr.Workload != "w" {
+		t.Fatal("Finish did not collect")
+	}
+}
+
 func TestCollectUntraced(t *testing.T) {
 	c := cluster.New(2)
 	c.Network().Account(0, 1, 10)

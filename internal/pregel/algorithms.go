@@ -9,7 +9,7 @@ import (
 // PageRank runs iters supersteps of damped PageRank (d=0.85) and returns the
 // per-vertex ranks. It is the canonical "vertex analytics" scoring workload
 // of Figure 1's path 1 (object ranking / biomolecule prioritisation).
-func PageRank(g *graph.Graph, iters int, cfg Config) ([]float64, *Result[float64]) {
+func PageRank(g *graph.Graph, iters int, cfg Config) ([]float64, *Result[float64], error) {
 	n := float64(g.NumVertices())
 	const d = 0.85
 	prog := Program[float64, float64]{
@@ -33,15 +33,18 @@ func PageRank(g *graph.Graph, iters int, cfg Config) ([]float64, *Result[float64
 		},
 		Combine: func(a, b float64) float64 { return a + b },
 	}
-	res := Run(g, prog, cfg)
-	return res.States, res
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.States, res, nil
 }
 
 // HashMinCC computes connected components with the HashMin label-propagation
 // algorithm: every vertex repeatedly adopts the minimum id seen in its
 // neighborhood. It converges in O(graph diameter) supersteps — the
 // O(log |V|)-round regime where the paper says TLAV systems shine.
-func HashMinCC(g *graph.Graph, cfg Config) ([]int32, *Result[int32]) {
+func HashMinCC(g *graph.Graph, cfg Config) ([]int32, *Result[int32], error) {
 	prog := Program[int32, int32]{
 		Init: func(g *graph.Graph, v graph.V) int32 { return int32(v) },
 		Compute: func(ctx *Context[int32], v graph.V, state *int32, msgs []int32) {
@@ -69,13 +72,16 @@ func HashMinCC(g *graph.Graph, cfg Config) ([]int32, *Result[int32]) {
 			return b
 		},
 	}
-	res := Run(g, prog, cfg)
-	return res.States, res
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.States, res, nil
 }
 
 // SSSP computes hop distances from source (unweighted shortest paths) with
 // message-pruned Bellman–Ford. Unreachable vertices get -1.
-func SSSP(g *graph.Graph, source graph.V, cfg Config) ([]int32, *Result[int32]) {
+func SSSP(g *graph.Graph, source graph.V, cfg Config) ([]int32, *Result[int32], error) {
 	const inf = math.MaxInt32
 	prog := Program[int32, int32]{
 		Init: func(g *graph.Graph, v graph.V) int32 {
@@ -104,7 +110,10 @@ func SSSP(g *graph.Graph, source graph.V, cfg Config) ([]int32, *Result[int32]) 
 			return b
 		},
 	}
-	res := Run(g, prog, cfg)
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	out := make([]int32, len(res.States))
 	for i, d := range res.States {
 		if d == inf {
@@ -114,7 +123,7 @@ func SSSP(g *graph.Graph, source graph.V, cfg Config) ([]int32, *Result[int32]) 
 		}
 	}
 	res.States = out
-	return out, res
+	return out, res, nil
 }
 
 // TriangleCountMR counts triangles the way the MapReduce/TLAV algorithm the
@@ -123,7 +132,7 @@ func SSSP(g *graph.Graph, source graph.V, cfg Config) ([]int32, *Result[int32]) 
 // message volume is Σ_v C(d⁺(v),2) — the quadratic blow-up that makes the
 // 1636-machine MapReduce job slower than a 1-core merge-based counter
 // (Chu & Cheng). Compare with graph.TriangleCount.
-func TriangleCountMR(g *graph.Graph, cfg Config) (int64, *Result[int64]) {
+func TriangleCountMR(g *graph.Graph, cfg Config) (int64, *Result[int64], error) {
 	type wedge = int64 // packed (w) id to test; target vertex implicit
 	prog := Program[int64, wedge]{
 		Compute: func(ctx *Context[wedge], v graph.V, state *int64, msgs []wedge) {
@@ -153,12 +162,15 @@ func TriangleCountMR(g *graph.Graph, cfg Config) (int64, *Result[int64]) {
 			}
 		},
 	}
-	res := Run(g, prog, cfg)
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return 0, nil, err
+	}
 	var total int64
 	for _, s := range res.States {
 		total += s
 	}
-	return total, res
+	return total, res, nil
 }
 
 // degLess orders vertices by (degree, id) — the orientation used by ordered
@@ -175,7 +187,7 @@ func degLess(g *graph.Graph, a, b graph.V) bool {
 // every vertex and returns per-vertex visit counts — a TLAV "random walk"
 // workload (the basis of DeepWalk-style sampling and PPR scoring). Walkers
 // move as messages; randomness is a deterministic hash of (walker, step).
-func RandomWalkVisits(g *graph.Graph, walksPerVertex, walkLen int, seed int64, cfg Config) ([]int64, *Result[int64]) {
+func RandomWalkVisits(g *graph.Graph, walksPerVertex, walkLen int, seed int64, cfg Config) ([]int64, *Result[int64], error) {
 	type walker struct {
 		id   int64
 		step int32
@@ -209,8 +221,11 @@ func RandomWalkVisits(g *graph.Graph, walksPerVertex, walkLen int, seed int64, c
 			ctx.VoteToHalt()
 		},
 	}
-	res := Run(g, prog, cfg)
-	return res.States, res
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.States, res, nil
 }
 
 func splitmix64(x uint64) uint64 {
@@ -222,12 +237,16 @@ func splitmix64(x uint64) uint64 {
 
 // DegreeCentrality is the trivial one-superstep vertex analytics (used by
 // pipelines needing a fast scoring pass).
-func DegreeCentrality(g *graph.Graph, cfg Config) []float64 {
+func DegreeCentrality(g *graph.Graph, cfg Config) ([]float64, error) {
 	prog := Program[float64, struct{}]{
 		Init: func(g *graph.Graph, v graph.V) float64 { return float64(g.Degree(v)) },
 		Compute: func(ctx *Context[struct{}], v graph.V, state *float64, msgs []struct{}) {
 			ctx.VoteToHalt()
 		},
 	}
-	return Run(g, prog, cfg).States
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.States, nil
 }

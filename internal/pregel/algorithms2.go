@@ -8,7 +8,7 @@ import (
 // detection for the given number of rounds: every vertex adopts the most
 // frequent label among its neighbors (ties broken by smaller label), a
 // classic TLAV community workload.
-func LabelPropagation(g *graph.Graph, rounds int, cfg Config) []int32 {
+func LabelPropagation(g *graph.Graph, rounds int, cfg Config) ([]int32, error) {
 	prog := Program[int32, int32]{
 		Init: func(g *graph.Graph, v graph.V) int32 { return int32(v) },
 		Compute: func(ctx *Context[int32], v graph.V, state *int32, msgs []int32) {
@@ -34,14 +34,18 @@ func LabelPropagation(g *graph.Graph, rounds int, cfg Config) []int32 {
 			}
 		},
 	}
-	return Run(g, prog, cfg).States
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.States, nil
 }
 
 // KCore computes the vertices of the k-core TLAV-style: vertices repeatedly
 // deactivate when their surviving degree drops below k, notifying neighbors
 // (distributed peeling). Returns membership flags. Validated against the
 // serial Batagelj–Zaversnik core numbers.
-func KCore(g *graph.Graph, k int32, cfg Config) []bool {
+func KCore(g *graph.Graph, k int32, cfg Config) ([]bool, error) {
 	type state struct {
 		alive     bool
 		surviving int32
@@ -66,19 +70,22 @@ func KCore(g *graph.Graph, k int32, cfg Config) []bool {
 			ctx.VoteToHalt()
 		},
 	}
-	res := Run(g, prog, cfg)
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]bool, len(res.States))
 	for v, s := range res.States {
 		out[v] = s.alive
 	}
-	return out
+	return out, nil
 }
 
 // PageRankConverged runs PageRank until the L1 residual between successive
 // iterations drops below eps, using a global aggregator for the convergence
 // test (the Pregel aggregator pattern), and returns the ranks and the number
 // of iterations used.
-func PageRankConverged(g *graph.Graph, eps float64, maxIters int, cfg Config) ([]float64, int) {
+func PageRankConverged(g *graph.Graph, eps float64, maxIters int, cfg Config) ([]float64, int, error) {
 	n := float64(g.NumVertices())
 	const d = 0.85
 	type prState struct {
@@ -116,18 +123,21 @@ func PageRankConverged(g *graph.Graph, eps float64, maxIters int, cfg Config) ([
 		},
 		Combine: func(a, b float64) float64 { return a + b },
 	}
-	res := Run(g, prog, cfg)
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
 	out := make([]float64, len(res.States))
 	for v, s := range res.States {
 		out[v] = s.rank
 	}
-	return out, res.Supersteps
+	return out, res.Supersteps, nil
 }
 
 // WeightedSSSP computes single-source shortest paths with edge labels as
 // weights (message-pruned distributed Bellman–Ford, the standard TLAV SSSP).
 // Unreachable vertices get -1. Validated against serial Dijkstra.
-func WeightedSSSP(g *graph.Graph, source graph.V, cfg Config) ([]int64, *Result[int64]) {
+func WeightedSSSP(g *graph.Graph, source graph.V, cfg Config) ([]int64, *Result[int64], error) {
 	const inf = int64(1) << 62
 	prog := Program[int64, int64]{
 		Init: func(g *graph.Graph, v graph.V) int64 {
@@ -158,7 +168,10 @@ func WeightedSSSP(g *graph.Graph, source graph.V, cfg Config) ([]int64, *Result[
 			return b
 		},
 	}
-	res := Run(g, prog, cfg)
+	res, err := Run(g, prog, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	out := make([]int64, len(res.States))
 	for i, d := range res.States {
 		if d == inf {
@@ -168,5 +181,5 @@ func WeightedSSSP(g *graph.Graph, source graph.V, cfg Config) ([]int64, *Result[
 		}
 	}
 	res.States = out
-	return out, res
+	return out, res, nil
 }

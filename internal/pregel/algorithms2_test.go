@@ -11,7 +11,7 @@ import (
 
 func TestLabelPropagationFindsCommunities(t *testing.T) {
 	c := gen.PlantedPartitionSparse(300, 3, 14, 0.3, 4)
-	labels := LabelPropagation(c.Graph, 10, Config{Workers: 4})
+	labels, _ := LabelPropagation(c.Graph, 10, Config{Workers: 4})
 	// measure agreement: most vertices in a community share the mode label
 	agree := 0
 	for comm := 0; comm < 3; comm++ {
@@ -42,7 +42,7 @@ func TestKCoreMatchesSerialCoreNumbers(t *testing.T) {
 		g := gen.ErdosRenyi(200, 800, seed)
 		cores := graph.CoreNumbers(g)
 		for _, k := range []int32{2, 4, 6} {
-			member := KCore(g, k, Config{Workers: 4})
+			member, _ := KCore(g, k, Config{Workers: 4})
 			for v := 0; v < 200; v++ {
 				want := cores[v] >= k
 				if member[v] != want {
@@ -55,7 +55,7 @@ func TestKCoreMatchesSerialCoreNumbers(t *testing.T) {
 
 func TestKCoreEmptyWhenKTooLarge(t *testing.T) {
 	g := gen.Grid(5, 5) // max core 2
-	member := KCore(g, 3, Config{Workers: 2})
+	member, _ := KCore(g, 3, Config{Workers: 2})
 	for v, m := range member {
 		if m {
 			t.Fatalf("vertex %d in nonexistent 3-core of a grid", v)
@@ -65,8 +65,8 @@ func TestKCoreEmptyWhenKTooLarge(t *testing.T) {
 
 func TestPageRankConverged(t *testing.T) {
 	g := gen.BarabasiAlbert(300, 4, 2)
-	exact, _ := PageRank(g, 60, Config{Workers: 4})
-	ranks, iters := PageRankConverged(g, 1e-6, 100, Config{Workers: 4})
+	exact, _, _ := PageRank(g, 60, Config{Workers: 4})
+	ranks, iters, _ := PageRankConverged(g, 1e-6, 100, Config{Workers: 4})
 	if iters >= 100 {
 		t.Fatalf("did not converge within bound (%d iters)", iters)
 	}
@@ -80,7 +80,7 @@ func TestPageRankConverged(t *testing.T) {
 		t.Fatalf("converged ranks deviate by %g", maxDiff)
 	}
 	// looser eps should stop earlier
-	_, fewIters := PageRankConverged(g, 1e-2, 100, Config{Workers: 4})
+	_, fewIters, _ := PageRankConverged(g, 1e-2, 100, Config{Workers: 4})
 	if fewIters >= iters {
 		t.Fatalf("eps=1e-2 used %d iters, eps=1e-6 used %d", fewIters, iters)
 	}
@@ -98,7 +98,7 @@ func TestWeightedSSSPMatchesDijkstra(t *testing.T) {
 		}
 		g := b.Build()
 		want := graph.Dijkstra(g, 0)
-		got, _ := WeightedSSSP(g, 0, Config{Workers: 4})
+		got, _, _ := WeightedSSSP(g, 0, Config{Workers: 4})
 		for v := range want {
 			if want[v] != got[v] {
 				t.Fatalf("seed %d vertex %d: pregel %d dijkstra %d", seed, v, got[v], want[v])
@@ -110,7 +110,7 @@ func TestWeightedSSSPMatchesDijkstra(t *testing.T) {
 func TestWeightedSSSPUnitWeightsEqualBFS(t *testing.T) {
 	g := gen.ErdosRenyi(120, 360, 3) // unlabeled: weight defaults to 1
 	want := graph.BFSLevels(g, 5)
-	got, _ := WeightedSSSP(g, 5, Config{Workers: 4})
+	got, _, _ := WeightedSSSP(g, 5, Config{Workers: 4})
 	for v := range want {
 		w := int64(want[v])
 		if got[v] != w {

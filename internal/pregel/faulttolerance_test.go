@@ -3,16 +3,25 @@ package pregel
 import (
 	"testing"
 
+	"graphsys/internal/cluster"
 	"graphsys/internal/graph"
 	"graphsys/internal/graph/gen"
 )
 
+// crashAt is shorthand for a fault plan that kills a worker at round r.
+func crashAt(r int) cluster.RunOptions {
+	return cluster.RunOptions{Faults: &cluster.FaultPlan{CrashAtRound: r}}
+}
+
 func TestCheckpointRecoveryCorrectness(t *testing.T) {
 	g := gen.ErdosRenyi(200, 600, 1)
-	want, _ := HashMinCC(g, Config{Workers: 4})
+	want, _, _ := HashMinCC(g, Config{Workers: 4})
 	// same run with a failure at step 3, recovering from checkpoints every 2
 	prog := ccProgram()
-	res := Run(g, prog, Config{Workers: 4, CheckpointEvery: 2, FailAtStep: 3})
+	res, err := Run(g, prog, Config{Workers: 4, CheckpointEvery: 2, RunOptions: crashAt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for v := range want {
 		if want[v] != res.States[v] {
 			t.Fatalf("vertex %d: %d vs %d after recovery", v, res.States[v], want[v])
@@ -26,11 +35,36 @@ func TestCheckpointRecoveryCorrectness(t *testing.T) {
 	}
 }
 
+// TestPageRankCrashRecoveryMatchesFaultFree checks the floating-point
+// workload too: a crash-and-rollback run must land on the fault-free ranks.
+// (Unlike HashMin's order-independent min, PageRank sums float messages in
+// arrival order, which varies across runs by a few ulps — hence the epsilon.)
+func TestPageRankCrashRecoveryMatchesFaultFree(t *testing.T) {
+	g := gen.RMAT(9, 8, 4)
+	want, _, _ := PageRank(g, 15, Config{Workers: 4})
+	got, res, err := PageRank(g, 15, Config{Workers: 4, CheckpointEvery: 3,
+		RunOptions: cluster.RunOptions{Trace: true, Faults: &cluster.FaultPlan{CrashAtRound: 7, CrashWorker: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range want {
+		if d := got[v] - want[v]; d > 1e-12 || d < -1e-12 {
+			t.Fatalf("vertex %d: %v vs %v after recovery", v, got[v], want[v])
+		}
+	}
+	if res.RecoveredSteps != 1 { // crashed at 7, checkpoint at 6
+		t.Fatalf("recovered %d steps, want 1", res.RecoveredSteps)
+	}
+	if r := res.Trace.Recovery; r == nil || r.Crashes != 1 || r.Checkpoints == 0 {
+		t.Fatalf("recovery stats not exported: %+v", r)
+	}
+}
+
 func TestRecoveryWithoutCheckpointRestarts(t *testing.T) {
 	g := gen.ErdosRenyi(150, 450, 2)
-	want, _ := HashMinCC(g, Config{Workers: 4})
+	want, _, _ := HashMinCC(g, Config{Workers: 4})
 	prog := ccProgram()
-	res := Run(g, prog, Config{Workers: 4, FailAtStep: 3}) // no checkpoints
+	res, _ := Run(g, prog, Config{Workers: 4, RunOptions: crashAt(3)}) // no checkpoints
 	for v := range want {
 		if want[v] != res.States[v] {
 			t.Fatalf("vertex %d wrong after full restart", v)
@@ -44,8 +78,8 @@ func TestRecoveryWithoutCheckpointRestarts(t *testing.T) {
 func TestCheckpointFrequencyTradeoff(t *testing.T) {
 	g := gen.ErdosRenyi(300, 1200, 3)
 	prog := ccProgram()
-	frequent := Run(g, prog, Config{Workers: 4, CheckpointEvery: 1, FailAtStep: 4})
-	sparse := Run(g, prog, Config{Workers: 4, CheckpointEvery: 4, FailAtStep: 5})
+	frequent, _ := Run(g, prog, Config{Workers: 4, CheckpointEvery: 1, RunOptions: crashAt(4)})
+	sparse, _ := Run(g, prog, Config{Workers: 4, CheckpointEvery: 4, RunOptions: crashAt(5)})
 	// frequent checkpointing writes more but recomputes less — LWCP's trade
 	if frequent.CheckpointBytes <= sparse.CheckpointBytes {
 		t.Fatalf("frequent ckpt bytes %d not above sparse %d",
@@ -59,7 +93,7 @@ func TestCheckpointFrequencyTradeoff(t *testing.T) {
 
 func TestNoFaultToleranceOverheadWhenDisabled(t *testing.T) {
 	g := gen.Grid(10, 10)
-	res := Run(g, ccProgram(), Config{Workers: 2})
+	res, _ := Run(g, ccProgram(), Config{Workers: 2})
 	if res.Checkpoints != 0 || res.CheckpointBytes != 0 || res.RecoveredSteps != 0 {
 		t.Fatalf("accounting nonzero with FT disabled: %+v", res)
 	}

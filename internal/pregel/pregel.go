@@ -27,22 +27,18 @@ type Config struct {
 
 	// Fault tolerance (LWCP-style lightweight checkpointing, Yan et al.
 	// ICPP'19): every CheckpointEvery supersteps the engine snapshots vertex
-	// states, activity flags and delivered messages. FailAtStep > 0 injects
-	// one worker failure at that superstep; the engine rolls back to the
-	// latest checkpoint and recomputes. StateBytes sizes the metered
-	// checkpoint volume (default 8 bytes/vertex).
+	// states, activity flags and delivered messages, and a crash injected by
+	// the runtime fault plan (RunOptions.Faults.CrashAtRound) rolls every
+	// worker back to the latest checkpoint — or restarts when there is none —
+	// and recomputes. StateBytes sizes the metered checkpoint volume
+	// (default 8 bytes/vertex).
 	CheckpointEvery int
-	FailAtStep      int
 	StateBytes      int64
 
-	// Trace enables the observability layer: per-link and per-round network
-	// tracing plus per-worker busy metering; the collected obs.Trace is
-	// attached to the Result.
-	Trace bool
-	// Topology, if non-nil, configures the cluster's network link costs
-	// before superstep 0 — e.g. cluster.RingTopology for an NVLink-style
-	// hosts-of-fast-links layout.
-	Topology func(net *cluster.Network)
+	// RunOptions is the cross-cutting runtime configuration shared by every
+	// engine: Trace (observability opt-in), Topology (link costs), Faults
+	// (crash/straggler/lossy-link injection).
+	cluster.RunOptions
 }
 
 func (c *Config) defaults(n int) {
@@ -65,16 +61,17 @@ func (c *Config) defaults(n int) {
 }
 
 // validate checks a user-supplied Partition up front, so a bad placement
-// fails with a clear message instead of an opaque index panic mid-superstep.
-func (c *Config) validate(n int) {
+// fails with a clear error instead of an opaque index panic mid-superstep.
+func (c *Config) validate(n int) error {
 	if len(c.Partition) != n {
-		panic(fmt.Sprintf("pregel: Config.Partition has %d entries for a graph with %d vertices", len(c.Partition), n))
+		return fmt.Errorf("pregel: Config.Partition has %d entries for a graph with %d vertices", len(c.Partition), n)
 	}
 	for v, w := range c.Partition {
 		if w < 0 || w >= c.Workers {
-			panic(fmt.Sprintf("pregel: Config.Partition[%d] = %d, want a worker id in [0,%d)", v, w, c.Workers))
+			return fmt.Errorf("pregel: Config.Partition[%d] = %d, want a worker id in [0,%d)", v, w, c.Workers)
 		}
 	}
+	return nil
 }
 
 // Program defines a vertex program. S is the vertex state type, M the
@@ -169,19 +166,17 @@ type Result[S any] struct {
 }
 
 // Run executes prog on g until all vertices halt with no messages in flight,
-// or cfg.MaxSupersteps is reached.
-func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) *Result[S] {
+// or cfg.MaxSupersteps is reached. It returns an error for an invalid Config
+// (bad Partition) without starting the run.
+func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], error) {
 	n := g.NumVertices()
 	cfg.defaults(n)
-	cfg.validate(n)
+	if err := cfg.validate(n); err != nil {
+		return nil, err
+	}
 	c := cluster.New(cfg.Workers)
 	net := c.Network()
-	if cfg.Topology != nil {
-		cfg.Topology(net)
-	}
-	if cfg.Trace {
-		net.EnableTrace()
-	}
+	fi := cfg.RunOptions.Apply(c)
 
 	eng := &engine[S, M]{agg: map[string]float64{}}
 
@@ -218,7 +213,6 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) *Result[S] {
 	var ckptBytes int64
 	var ckptCount int
 	recovered := 0
-	failed := false
 	takeCheckpoint := func(step int) {
 		s := &snapshot{step: step, states: append([]S(nil), states...), active: append([]bool(nil), active...)}
 		s.msgs = make([][]M, n)
@@ -228,8 +222,10 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) *Result[S] {
 			msgCount += int64(len(msgs[v]))
 		}
 		ckpt = s
-		ckptBytes += int64(n)*cfg.StateBytes + msgCount*cfg.MsgBytes
+		bytes := int64(n)*cfg.StateBytes + msgCount*cfg.MsgBytes
+		ckptBytes += bytes
 		ckptCount++
+		fi.NoteCheckpoint(bytes)
 	}
 
 	steps := 0
@@ -237,10 +233,10 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) *Result[S] {
 		if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
 			takeCheckpoint(step)
 		}
-		if cfg.FailAtStep > 0 && step == cfg.FailAtStep && !failed {
-			// a worker dies: roll every worker back to the last checkpoint
-			// (synchronous recovery, the Pregel/LWCP model)
-			failed = true
+		if fi.CrashDue(step) {
+			// a worker dies at the superstep barrier: roll every worker back
+			// to the last checkpoint (synchronous recovery, the Pregel/LWCP
+			// model)
 			if ckpt != nil {
 				copy(states, ckpt.states)
 				copy(active, ckpt.active)
@@ -265,6 +261,7 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) *Result[S] {
 				mb.Exchange()
 				step = 0
 			}
+			fi.NoteRecovery(recovered, float64(recovered))
 		}
 		steps = step + 1
 		var anyActive bool
@@ -349,10 +346,8 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) *Result[S] {
 		States: states, Supersteps: steps, Net: net.Stats(),
 		CheckpointBytes: ckptBytes, Checkpoints: ckptCount, RecoveredSteps: recovered,
 	}
-	if cfg.Trace {
-		res.Trace = obs.Collect("pregel", c)
-	}
-	return res
+	res.Trace = obs.Finish(cfg.RunOptions, "pregel", c)
+	return res, nil
 }
 
 type engine[S, M any] struct {

@@ -16,7 +16,7 @@ func TestPageRankUniformOnRegularGraph(t *testing.T) {
 		b.AddEdge(graph.V(i), graph.V((i+1)%n))
 	}
 	g := b.Build()
-	ranks, _ := PageRank(g, 30, Config{Workers: 4})
+	ranks, _, _ := PageRank(g, 30, Config{Workers: 4})
 	for v, r := range ranks {
 		if math.Abs(r-1.0/float64(n)) > 1e-9 {
 			t.Fatalf("rank[%d]=%g want %g", v, r, 1.0/float64(n))
@@ -26,7 +26,7 @@ func TestPageRankUniformOnRegularGraph(t *testing.T) {
 
 func TestPageRankSumsToOne(t *testing.T) {
 	g := gen.BarabasiAlbert(200, 3, 1)
-	ranks, _ := PageRank(g, 25, Config{Workers: 3})
+	ranks, _, _ := PageRank(g, 25, Config{Workers: 3})
 	sum := 0.0
 	for _, r := range ranks {
 		sum += r
@@ -44,7 +44,7 @@ func TestPageRankFavorsHubs(t *testing.T) {
 		b.AddEdge(0, graph.V(i))
 	}
 	g := b.Build()
-	ranks, _ := PageRank(g, 30, Config{Workers: 2})
+	ranks, _, _ := PageRank(g, 30, Config{Workers: 2})
 	for i := 1; i < n; i++ {
 		if ranks[0] <= ranks[i] {
 			t.Fatalf("center rank %g <= leaf rank %g", ranks[0], ranks[i])
@@ -56,7 +56,7 @@ func TestHashMinCCMatchesSerial(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		g := gen.ErdosRenyi(200, 220, seed) // sparse → several components
 		want, wantCount := graph.ConnectedComponents(g)
-		got, _ := HashMinCC(g, Config{Workers: 4})
+		got, _, _ := HashMinCC(g, Config{Workers: 4})
 		// compare partitions: same component iff same label
 		seen := map[int32]bool{}
 		for _, l := range got {
@@ -78,7 +78,7 @@ func TestHashMinCCMatchesSerial(t *testing.T) {
 func TestHashMinCCRoundsNearDiameter(t *testing.T) {
 	// a path of length L needs ~L supersteps; a random graph needs few.
 	g := gen.ErdosRenyi(500, 2000, 9)
-	_, res := HashMinCC(g, Config{Workers: 4})
+	_, res, _ := HashMinCC(g, Config{Workers: 4})
 	if res.Supersteps > 20 {
 		t.Fatalf("HashMin took %d supersteps on a dense random graph", res.Supersteps)
 	}
@@ -87,7 +87,7 @@ func TestHashMinCCRoundsNearDiameter(t *testing.T) {
 func TestSSSPMatchesBFS(t *testing.T) {
 	g := gen.ErdosRenyi(150, 400, 4)
 	want := graph.BFSLevels(g, 0)
-	got, _ := SSSP(g, 0, Config{Workers: 4})
+	got, _, _ := SSSP(g, 0, Config{Workers: 4})
 	for v := range want {
 		if want[v] != got[v] {
 			t.Fatalf("dist[%d]=%d want %d", v, got[v], want[v])
@@ -99,7 +99,7 @@ func TestTriangleCountMRMatchesSerial(t *testing.T) {
 	for seed := int64(0); seed < 3; seed++ {
 		g := gen.ErdosRenyi(80, 500, seed)
 		want := graph.TriangleCount(g)
-		got, _ := TriangleCountMR(g, Config{Workers: 4})
+		got, _, _ := TriangleCountMR(g, Config{Workers: 4})
 		if got != want {
 			t.Fatalf("seed %d: MR=%d serial=%d", seed, got, want)
 		}
@@ -111,7 +111,7 @@ func TestTriangleCountMRMessageBlowup(t *testing.T) {
 	// orientation) — far more than the edge count on dense graphs. This is
 	// the paper's §1 criticism in miniature.
 	g := gen.Clique(30)
-	_, res := TriangleCountMR(g, Config{Workers: 4})
+	_, res, _ := TriangleCountMR(g, Config{Workers: 4})
 	if res.Net.Messages+res.Net.LocalMessages < 2*g.NumEdges() {
 		t.Fatalf("expected wedge-scale message volume, got %d msgs for %d edges",
 			res.Net.Messages+res.Net.LocalMessages, g.NumEdges())
@@ -120,7 +120,7 @@ func TestTriangleCountMRMessageBlowup(t *testing.T) {
 
 func TestRandomWalkVisits(t *testing.T) {
 	g := gen.Clique(10)
-	visits, _ := RandomWalkVisits(g, 4, 5, 7, Config{Workers: 2})
+	visits, _, _ := RandomWalkVisits(g, 4, 5, 7, Config{Workers: 2})
 	var total int64
 	for _, c := range visits {
 		total += c
@@ -134,8 +134,8 @@ func TestRandomWalkVisits(t *testing.T) {
 
 func TestRandomWalkDeterminism(t *testing.T) {
 	g := gen.BarabasiAlbert(100, 2, 3)
-	a, _ := RandomWalkVisits(g, 2, 8, 42, Config{Workers: 4})
-	b, _ := RandomWalkVisits(g, 2, 8, 42, Config{Workers: 2})
+	a, _, _ := RandomWalkVisits(g, 2, 8, 42, Config{Workers: 4})
+	b, _, _ := RandomWalkVisits(g, 2, 8, 42, Config{Workers: 2})
 	for v := range a {
 		if a[v] != b[v] {
 			t.Fatalf("visits differ at %d with different worker counts: %d vs %d", v, a[v], b[v])
@@ -145,7 +145,7 @@ func TestRandomWalkDeterminism(t *testing.T) {
 
 func TestDegreeCentrality(t *testing.T) {
 	g := gen.Grid(4, 4)
-	d := DegreeCentrality(g, Config{Workers: 2})
+	d, _ := DegreeCentrality(g, Config{Workers: 2})
 	for v := graph.V(0); int(v) < g.NumVertices(); v++ {
 		if d[v] != float64(g.Degree(v)) {
 			t.Fatalf("degree[%d]=%f", v, d[v])
@@ -155,7 +155,7 @@ func TestDegreeCentrality(t *testing.T) {
 
 func TestCombinerReducesMessages(t *testing.T) {
 	g := gen.Clique(40)
-	_, withComb := HashMinCC(g, Config{Workers: 4})
+	_, withComb, _ := HashMinCC(g, Config{Workers: 4})
 	// same algorithm without a combiner
 	prog := Program[int32, int32]{
 		Init: func(g *graph.Graph, v graph.V) int32 { return int32(v) },
@@ -178,7 +178,7 @@ func TestCombinerReducesMessages(t *testing.T) {
 			ctx.VoteToHalt()
 		},
 	}
-	res := Run(g, prog, Config{Workers: 4})
+	res, _ := Run(g, prog, Config{Workers: 4})
 	msgsNoComb := res.Net.Messages
 	if withComb.Net.Messages >= msgsNoComb {
 		t.Fatalf("combiner did not reduce messages: %d vs %d", withComb.Net.Messages, msgsNoComb)
@@ -218,7 +218,7 @@ func TestMaxSuperstepsBound(t *testing.T) {
 			ctx.Send(v, 1)
 		},
 	}
-	res := Run(g, prog, Config{Workers: 2, MaxSupersteps: 7})
+	res, _ := Run(g, prog, Config{Workers: 2, MaxSupersteps: 7})
 	if res.Supersteps != 7 {
 		t.Fatalf("ran %d supersteps, want 7", res.Supersteps)
 	}
@@ -226,7 +226,7 @@ func TestMaxSuperstepsBound(t *testing.T) {
 
 func TestEmptyGraphRun(t *testing.T) {
 	g := graph.NewBuilder(0, false).Build()
-	ranks, res := PageRank(g, 5, Config{Workers: 2})
+	ranks, res, _ := PageRank(g, 5, Config{Workers: 2})
 	if len(ranks) != 0 || res.Supersteps != 0 {
 		t.Fatalf("empty run: %d states, %d steps", len(ranks), res.Supersteps)
 	}
@@ -238,7 +238,7 @@ func TestCustomPartitionRespected(t *testing.T) {
 	for v := range part {
 		part[v] = v % 2
 	}
-	_, res := HashMinCC(g, Config{Workers: 2, Partition: part})
+	_, res, _ := HashMinCC(g, Config{Workers: 2, Partition: part})
 	if res.Net.Messages == 0 {
 		t.Fatal("expected cross-worker messages under split partition")
 	}

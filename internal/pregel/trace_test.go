@@ -8,48 +8,48 @@ import (
 	"graphsys/internal/graph/gen"
 )
 
-func expectPanic(t *testing.T, substr string, fn func()) {
+// expectErr asserts that err is non-nil and mentions substr; the validation
+// API returns errors from the exported entry points instead of panicking.
+func expectErr(t *testing.T, err error, substr string) {
 	t.Helper()
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatalf("expected panic containing %q", substr)
-		}
-		if !strings.Contains(r.(string), substr) {
-			t.Fatalf("panic %q does not mention %q", r, substr)
-		}
-	}()
-	fn()
+	if err == nil {
+		t.Fatalf("expected error containing %q, got nil", substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not mention %q", err, substr)
+	}
 }
 
 func TestPartitionLengthValidated(t *testing.T) {
 	g := gen.Grid(4, 4) // 16 vertices
-	expectPanic(t, "Partition has 3 entries", func() {
-		PageRank(g, 2, Config{Workers: 2, Partition: []int{0, 1, 0}})
-	})
+	_, _, err := PageRank(g, 2, Config{Workers: 2, Partition: []int{0, 1, 0}})
+	expectErr(t, err, "Partition has 3 entries")
 }
 
 func TestPartitionWorkerRangeValidated(t *testing.T) {
 	g := gen.Grid(2, 2)
 	bad := []int{0, 1, 7, 0} // worker 7 does not exist
-	expectPanic(t, "Partition[2] = 7", func() {
-		PageRank(g, 2, Config{Workers: 2, Partition: bad})
-	})
+	_, _, err := PageRank(g, 2, Config{Workers: 2, Partition: bad})
+	expectErr(t, err, "Partition[2] = 7")
 	neg := []int{0, -1, 0, 0}
-	expectPanic(t, "Partition[1] = -1", func() {
-		PageRank(g, 2, Config{Workers: 2, Partition: neg})
-	})
+	_, _, err = PageRank(g, 2, Config{Workers: 2, Partition: neg})
+	expectErr(t, err, "Partition[1] = -1")
 }
 
 func TestRunCollectsTrace(t *testing.T) {
 	g := gen.RMAT(8, 8, 3)
-	_, res := PageRank(g, 5, Config{
+	_, res, err := PageRank(g, 5, Config{
 		Workers: 4,
-		Trace:   true,
-		Topology: func(net *cluster.Network) {
-			cluster.RingTopology(net, 2, 0.05)
+		RunOptions: cluster.RunOptions{
+			Trace: true,
+			Topology: func(net *cluster.Network) {
+				cluster.RingTopology(net, 2, 0.05)
+			},
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr := res.Trace
 	if tr == nil {
 		t.Fatal("Trace not collected")
@@ -89,7 +89,7 @@ func TestRunCollectsTrace(t *testing.T) {
 
 func TestNoTraceByDefault(t *testing.T) {
 	g := gen.Grid(3, 3)
-	_, res := PageRank(g, 2, Config{Workers: 2})
+	_, res, _ := PageRank(g, 2, Config{Workers: 2})
 	if res.Trace != nil {
 		t.Fatal("trace collected without Config.Trace")
 	}

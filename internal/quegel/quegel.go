@@ -44,7 +44,7 @@ type qmsg struct {
 // query id, and every superstep advances all BFS frontiers together. The
 // barrier count is max(per-query rounds), not the sum — Quegel's
 // superstep-sharing.
-func AnswerBatched(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer, Stats) {
+func AnswerBatched(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer, Stats, error) {
 	prog := pregel.Program[map[int32]int32, qmsg]{
 		Init: func(g *graph.Graph, v graph.V) map[int32]int32 {
 			st := map[int32]int32{}
@@ -82,7 +82,10 @@ func AnswerBatched(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer
 			ctx.VoteToHalt()
 		},
 	}
-	res := pregel.Run(g, prog, cfg)
+	res, err := pregel.Run(g, prog, cfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
 	out := make([]Answer, len(queries))
 	for qi, q := range queries {
 		if d, ok := res.States[q.Dst][int32(qi)]; ok {
@@ -94,21 +97,24 @@ func AnswerBatched(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer
 	if res.Trace != nil {
 		res.Trace.Workload = "quegel/batched"
 	}
-	return out, Stats{Supersteps: res.Supersteps, Messages: res.Net.Messages + res.Net.LocalMessages, Trace: res.Trace}
+	return out, Stats{Supersteps: res.Supersteps, Messages: res.Net.Messages + res.Net.LocalMessages, Trace: res.Trace}, nil
 }
 
 // AnswerSequential serves queries one at a time, each paying its own full
 // sequence of supersteps (the offline-TLAV baseline Quegel improves on).
-func AnswerSequential(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer, Stats) {
+func AnswerSequential(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer, Stats, error) {
 	var st Stats
 	out := make([]Answer, len(queries))
 	for qi, q := range queries {
-		dists, res := pregel.SSSP(g, q.Src, cfg)
+		dists, res, err := pregel.SSSP(g, q.Src, cfg)
+		if err != nil {
+			return nil, Stats{}, err
+		}
 		out[qi] = Answer{Dist: dists[q.Dst]}
 		st.Supersteps += res.Supersteps
 		st.Messages += res.Net.Messages + res.Net.LocalMessages
 	}
-	return out, st
+	return out, st, nil
 }
 
 // Server is the interactive face: it accumulates queries and serves each
@@ -129,11 +135,11 @@ func NewServer(g *graph.Graph, workers int) *Server {
 func (s *Server) Submit(q Query) { s.pending = append(s.pending, q) }
 
 // Flush answers the whole pending batch in one shared run.
-func (s *Server) Flush() ([]Answer, Stats) {
+func (s *Server) Flush() ([]Answer, Stats, error) {
 	qs := s.pending
 	s.pending = nil
 	if len(qs) == 0 {
-		return nil, Stats{}
+		return nil, Stats{}, nil
 	}
 	return AnswerBatched(s.g, qs, s.cfg)
 }

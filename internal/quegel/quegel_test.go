@@ -19,8 +19,14 @@ func TestBatchedMatchesSequential(t *testing.T) {
 		})
 	}
 	cfg := pregel.Config{Workers: 4}
-	batched, bstats := AnswerBatched(g, queries, cfg)
-	sequential, sstats := AnswerSequential(g, queries, cfg)
+	batched, bstats, err := AnswerBatched(g, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential, sstats, err := AnswerSequential(g, queries, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range queries {
 		if batched[i].Dist != sequential[i].Dist {
 			t.Fatalf("query %d: batched %d vs sequential %d", i, batched[i].Dist, sequential[i].Dist)
@@ -39,7 +45,7 @@ func TestBatchedMatchesSequential(t *testing.T) {
 
 func TestUnreachableQuery(t *testing.T) {
 	g := graph.FromEdges(4, [][2]graph.V{{0, 1}, {2, 3}})
-	ans, _ := AnswerBatched(g, []Query{{Src: 0, Dst: 3}, {Src: 0, Dst: 1}, {Src: 2, Dst: 2}},
+	ans, _, _ := AnswerBatched(g, []Query{{Src: 0, Dst: 3}, {Src: 0, Dst: 1}, {Src: 2, Dst: 2}},
 		pregel.Config{Workers: 2})
 	if ans[0].Dist != -1 {
 		t.Fatalf("cross-component distance %d", ans[0].Dist)
@@ -57,7 +63,10 @@ func TestServerBatching(t *testing.T) {
 	s := NewServer(g, 4)
 	s.Submit(Query{Src: 0, Dst: 100})
 	s.Submit(Query{Src: 5, Dst: 150})
-	ans, st := s.Flush()
+	ans, st, err := s.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ans) != 2 {
 		t.Fatalf("answers %d", len(ans))
 	}
@@ -71,7 +80,7 @@ func TestServerBatching(t *testing.T) {
 		}
 	}
 	// flush with nothing pending
-	ans2, _ := s.Flush()
+	ans2, _, _ := s.Flush()
 	if ans2 != nil {
 		t.Fatal("empty flush returned answers")
 	}
