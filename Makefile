@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench
+.PHONY: build test race vet verify bench bench-kernels bench-smoke
 
 build:
 	$(GO) build ./...
@@ -13,13 +13,25 @@ test:
 
 # Race-enabled subset: the packages with real concurrency (the cluster
 # runtime and the engines that drive it, including the fault-injection /
-# crash-recovery paths).
+# crash-recovery paths, and the parallel tensor/aggregation kernels).
 race:
-	$(GO) test -race ./internal/cluster/ ./internal/pregel/ ./internal/gnndist/
+	$(GO) test -race ./internal/cluster/ ./internal/pregel/ ./internal/gnndist/ ./internal/tensor/ ./internal/gnn/
 
 # The full pre-commit gate: referenced from .claude/skills/verify/SKILL.md.
-verify: vet build test race
+verify: vet build test race bench-smoke
 	@echo "verify: OK"
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# Kernel-layer benchmarks: serial vs parallel matmul/SpMM/training-epoch, and
+# the BENCH_kernels.json report with the growth-seed baselines.
+bench-kernels:
+	$(GO) test -bench 'MatMul|Agg|Train' -benchmem -run '^$$' ./internal/tensor/ ./internal/gnn/
+	$(GO) run ./cmd/benchkernels -out BENCH_kernels.json
+
+# Quick harness-correctness pass of the kernel report (few iterations; wired
+# into verify so the JSON stays generatable). Writes to a scratch path so it
+# never clobbers the committed full-run BENCH_kernels.json.
+bench-smoke:
+	$(GO) run ./cmd/benchkernels -smoke -out BENCH_kernels.smoke.json

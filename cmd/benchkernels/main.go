@@ -1,0 +1,196 @@
+// Command benchkernels measures the tensor/aggregation compute kernels and
+// writes BENCH_kernels.json: serial vs parallel ns/op and allocs/op for the
+// dense matmul, the CSR NormAdj SpMM, and a full GCN training epoch, next to
+// the numbers recorded at the growth seed on the same workloads. Parallel
+// speedup scales with GOMAXPROCS; the report records the machine's value so
+// single-core runs are not misread as regressions.
+//
+//	go run ./cmd/benchkernels -out BENCH_kernels.json        # full run
+//	go run ./cmd/benchkernels -smoke -out BENCH_kernels.json # verify gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"graphsys/internal/gnn"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/nn"
+	"graphsys/internal/tensor"
+)
+
+// seed baselines: measured at the growth seed (commit bfb22a5) with the same
+// workloads on the reference container, before the kernel layer existed.
+type seedBaseline struct {
+	NsOp     int64 `json:"ns_op"`
+	AllocsOp int64 `json:"allocs_op"`
+	BytesOp  int64 `json:"bytes_op"`
+}
+
+type kernelReport struct {
+	Name             string        `json:"name"`
+	Workload         string        `json:"workload"`
+	SerialNsOp       int64         `json:"serial_ns_op"`
+	ParallelNsOp     int64         `json:"parallel_ns_op"`
+	Speedup          float64       `json:"speedup"`
+	SerialAllocsOp   int64         `json:"serial_allocs_op"`
+	ParallelAllocsOp int64         `json:"parallel_allocs_op"`
+	BytesOp          int64         `json:"bytes_op"`
+	Seed             *seedBaseline `json:"seed_baseline,omitempty"`
+}
+
+type report struct {
+	GeneratedBy string         `json:"generated_by"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Smoke       bool           `json:"smoke"`
+	Note        string         `json:"note"`
+	Kernels     []kernelReport `json:"kernels"`
+}
+
+// measure runs fn under testing.Benchmark at the given kernel parallelism.
+func measure(p int, fn func(b *testing.B)) testing.BenchmarkResult {
+	tensor.SetParallelism(p)
+	defer tensor.SetParallelism(0)
+	return testing.Benchmark(fn)
+}
+
+func kernel(name, workload string, seed *seedBaseline, fn func(b *testing.B)) kernelReport {
+	serial := measure(1, fn)
+	parallel := measure(0, fn) // 0 = GOMAXPROCS workers
+	k := kernelReport{
+		Name:             name,
+		Workload:         workload,
+		SerialNsOp:       serial.NsPerOp(),
+		ParallelNsOp:     parallel.NsPerOp(),
+		SerialAllocsOp:   int64(serial.AllocsPerOp()),
+		ParallelAllocsOp: int64(parallel.AllocsPerOp()),
+		BytesOp:          int64(parallel.AllocedBytesPerOp()),
+		Seed:             seed,
+	}
+	if k.ParallelNsOp > 0 {
+		k.Speedup = float64(k.SerialNsOp) / float64(k.ParallelNsOp)
+	}
+	return k
+}
+
+func main() {
+	out := flag.String("out", "BENCH_kernels.json", "output path")
+	smoke := flag.Bool("smoke", false, "few iterations; correctness of the harness, not stable timings")
+	testing.Init()
+	flag.Parse()
+	benchtime := "20x"
+	if *smoke {
+		benchtime = "2x"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		fmt.Fprintf(os.Stderr, "benchkernels: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		GeneratedBy: "cmd/benchkernels",
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Smoke:       *smoke,
+		Note: "serial = parallelism 1, parallel = GOMAXPROCS workers; kernels are " +
+			"bitwise-deterministic at any setting. Parallel speedup requires multiple " +
+			"cores: on a single-core machine (gomaxprocs=1) the parallel column " +
+			"exercises the pool without hardware parallelism and speedup ~1 is expected. " +
+			"seed_baseline entries were measured at the growth seed on the same workloads.",
+	}
+
+	// 1. Dense matmul, 256x256x256 (acceptance workload).
+	a := tensor.Xavier(256, 256, 1)
+	bm := tensor.Xavier(256, 256, 2)
+	mmOut := tensor.New(256, 256)
+	rep.Kernels = append(rep.Kernels, kernel(
+		"matmul_256", "MatMulInto 256x256 x 256x256",
+		&seedBaseline{NsOp: 8108655, AllocsOp: 2, BytesOp: 262192},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMulInto(a, bm, mmOut)
+			}
+		}))
+
+	// 2. NormAdj CSR SpMM on the seed-baseline power-law graph (~32k vertices).
+	g := gen.RMAT(15, 12, 1)
+	adj := gnn.NewNormAdj(g)
+	h := tensor.Xavier(g.NumVertices(), 32, 3)
+	aggOut := tensor.New(g.NumVertices(), 32)
+	rep.Kernels = append(rep.Kernels, kernel(
+		"normadj_apply_rmat15", fmt.Sprintf("NormAdj.ApplyInto, RMAT(15,12) n=%d, 32 cols", g.NumVertices()),
+		&seedBaseline{NsOp: 22485614, AllocsOp: 2, BytesOp: 4194352},
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				adj.ApplyInto(h, aggOut)
+			}
+		}))
+
+	// 3. NormAdj SpMM at the 50k-vertex acceptance scale.
+	if !*smoke {
+		g50 := gen.BarabasiAlbert(50000, 8, 4)
+		adj50 := gnn.NewNormAdj(g50)
+		h50 := tensor.Xavier(50000, 32, 5)
+		out50 := tensor.New(50000, 32)
+		rep.Kernels = append(rep.Kernels, kernel(
+			"normadj_apply_ba50k", "NormAdj.ApplyInto, BarabasiAlbert(50000,8), 32 cols", nil,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					adj50.ApplyInto(h50, out50)
+				}
+			}))
+	}
+
+	// 4. Full GCN training epoch (forward + loss + backward + Adam).
+	task := gnn.SyntheticCommunityTask(300, 3, 2, 0.3, 17)
+	masked := make([]int, len(task.Labels))
+	for i, l := range task.Labels {
+		if !task.TrainMask[i] {
+			masked[i] = -1
+		} else {
+			masked[i] = l
+		}
+	}
+	rep.Kernels = append(rep.Kernels, kernel(
+		"train_epoch_gcn", "GCN epoch, SyntheticCommunityTask(300,3), hidden 16",
+		&seedBaseline{NsOp: 260512, AllocsOp: 146, BytesOp: 158722},
+		func(b *testing.B) {
+			m := gnn.NewModel(task.G, gnn.GCN, []int{task.X.Cols, 16, task.NumClasses}, 1)
+			opt := nn.NewAdam(0.01)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				logits := m.Forward(task.X)
+				_, dLogits := nn.SoftmaxCrossEntropy(logits, masked)
+				m.Backward(dLogits)
+				opt.Step(m.Params())
+			}
+		}))
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchkernels: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchkernels: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchkernels: %v\n", err)
+		os.Exit(1)
+	}
+	for _, k := range rep.Kernels {
+		fmt.Printf("%-22s serial %12d ns/op   parallel %12d ns/op   speedup %.2fx   allocs %d -> %d\n",
+			k.Name, k.SerialNsOp, k.ParallelNsOp, k.Speedup, k.SerialAllocsOp, k.ParallelAllocsOp)
+	}
+	fmt.Printf("wrote %s (gomaxprocs=%d)\n", *out, rep.GOMAXPROCS)
+}

@@ -22,15 +22,18 @@ import (
 	"graphsys/internal/graph/gen"
 	"graphsys/internal/obs"
 	"graphsys/internal/pregel"
+	"graphsys/internal/tensor"
 )
 
 func main() {
 	traceOut := flag.String("trace", "", "write a JSON observability trace (traffic matrix, round series, worker skew) for one Pregel and one gnndist workload to this file")
+	par := flag.Int("parallelism", 0, "goroutines for the tensor compute kernels (0 = GOMAXPROCS); results are bitwise identical at any setting")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: graphbench [-trace out.json] [all | <experiment-id>...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: graphbench [-trace out.json] [-parallelism n] [all | <experiment-id>...]\n\n")
 		list()
 	}
 	flag.Parse()
+	tensor.SetParallelism(*par)
 	args := flag.Args()
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut); err != nil {

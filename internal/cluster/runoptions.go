@@ -1,5 +1,7 @@
 package cluster
 
+import "graphsys/internal/tensor"
+
 // RunOptions is the cross-cutting runtime configuration shared by every
 // engine built on the cluster runtime (pregel, blogel, quegel, gnndist).
 // Engine configs embed it, so observability, topology and fault injection
@@ -25,6 +27,11 @@ type RunOptions struct {
 	// Faults, if non-nil, is the fault plan the runtime injects (worker
 	// crash, straggler slowdown, lossy links with metered retries).
 	Faults *FaultPlan
+	// Parallelism, if > 0, sets the number of goroutines the tensor compute
+	// kernels may use (0 keeps the current setting, which defaults to
+	// GOMAXPROCS). The setting is process-global — kernels are
+	// bitwise-deterministic at any level, so it affects speed, never results.
+	Parallelism int
 }
 
 // Apply configures a freshly created cluster according to the options:
@@ -32,6 +39,9 @@ type RunOptions struct {
 // installed fault injector, or nil when no faults are planned; the nil
 // injector is safe to use (all its methods are nil-receiver no-ops).
 func (o RunOptions) Apply(c *Cluster) *FaultInjector {
+	if o.Parallelism > 0 {
+		tensor.SetParallelism(o.Parallelism)
+	}
 	if o.Topology != nil {
 		o.Topology(c.Network())
 	}

@@ -5,119 +5,268 @@
 // materialisation. Each graph-convolution layer follows the two-stage
 // structure the paper describes — Graph Data Retrieving (neighbor feature
 // aggregation) followed by Model Computation.
+//
+// Aggregators are stored as CSR built once at construction and applied with
+// parallel SpMM kernels. Both directions are gather-form: the forward kernel
+// parallelises over destination rows, and the backward pass uses a transpose
+// CSR (built at construction) so that each goroutine owns a disjoint block of
+// OUTPUT rows instead of scattering with atomics. Per-row entries of the
+// transpose are ordered by source row ascending — the same order the old
+// serial scatter visited them — so results are bitwise identical to the
+// serial kernels at any parallelism level.
 package gnn
 
 import (
+	"fmt"
 	"math"
+	"sort"
 
 	"graphsys/internal/graph"
 	"graphsys/internal/tensor"
 )
 
+// csr is a compressed-sparse-row operator over vertex feature matrices.
+// wts == nil means unit weights.
+type csr struct {
+	n      int
+	rowPtr []int32
+	col    []graph.V
+	wts    []float32
+}
+
+// apply computes out = op(h) where row v of the result is
+// rowScale[v] · Σ_idx wts[idx]·h[col[idx]] (rowScale/wts nil = unit). out is
+// fully overwritten. Rows are independent, each owned by one goroutine and
+// accumulated in CSR entry order, so results do not depend on how the row
+// range is split.
+func (c *csr) apply(h, out *tensor.Matrix, rowScale []float32) {
+	if h.Rows != c.n {
+		panic(fmt.Sprintf("gnn: aggregator input rows %d != vertices %d", h.Rows, c.n))
+	}
+	if out.Rows != c.n || out.Cols != h.Cols {
+		panic(fmt.Sprintf("gnn: aggregator output %dx%d, want %dx%d", out.Rows, out.Cols, c.n, h.Cols))
+	}
+	nnz := int64(c.rowPtr[c.n])
+	p := tensor.Parallelism()
+	if p <= 1 || c.n <= 1 || nnz*int64(h.Cols) < tensor.SerialWorkThreshold {
+		c.applyRange(h, out, rowScale, 0, c.n)
+		return
+	}
+	bounds := splitRowsByNNZ(c.rowPtr, p)
+	fns := make([]func(), len(bounds)-1)
+	for i := range fns {
+		lo, hi := bounds[i], bounds[i+1]
+		fns[i] = func() { c.applyRange(h, out, rowScale, lo, hi) }
+	}
+	tensor.ParallelDo(fns)
+}
+
+// applyRange is the serial kernel over output rows [lo, hi).
+func (c *csr) applyRange(h, out *tensor.Matrix, rowScale []float32, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		or := out.Row(v)
+		for j := range or {
+			or[j] = 0
+		}
+		s, e := c.rowPtr[v], c.rowPtr[v+1]
+		if c.wts == nil {
+			for idx := s; idx < e; idx++ {
+				hr := h.Row(int(c.col[idx]))
+				for j, hv := range hr {
+					or[j] += hv
+				}
+			}
+		} else {
+			for idx := s; idx < e; idx++ {
+				w := c.wts[idx]
+				hr := h.Row(int(c.col[idx]))
+				for j, hv := range hr {
+					or[j] += w * hv
+				}
+			}
+		}
+		if rowScale != nil {
+			inv := rowScale[v]
+			for j := range or {
+				or[j] *= inv
+			}
+		}
+	}
+}
+
+// transpose returns the CSR of the adjoint operator. Entry weights are the
+// source entry's weight times srcScale[v] (either may be nil = unit; both nil
+// keeps wts nil). Entries within each output row are ordered by source row v
+// ascending — exactly the order the serial scatter loop (v outer, ascending)
+// used to touch that row, so the gather-form backward reproduces it bitwise.
+func (c *csr) transpose(srcScale []float32) *csr {
+	t := &csr{n: c.n, rowPtr: make([]int32, c.n+1), col: make([]graph.V, len(c.col))}
+	if c.wts != nil || srcScale != nil {
+		t.wts = make([]float32, len(c.col))
+	}
+	for _, u := range c.col {
+		t.rowPtr[u+1]++
+	}
+	for u := 0; u < c.n; u++ {
+		t.rowPtr[u+1] += t.rowPtr[u]
+	}
+	next := make([]int32, c.n)
+	copy(next, t.rowPtr[:c.n])
+	for v := 0; v < c.n; v++ {
+		for idx := c.rowPtr[v]; idx < c.rowPtr[v+1]; idx++ {
+			u := c.col[idx]
+			p := next[u]
+			next[u]++
+			t.col[p] = graph.V(v)
+			if t.wts != nil {
+				w := float32(1)
+				if c.wts != nil {
+					w = c.wts[idx]
+				}
+				if srcScale != nil {
+					w *= srcScale[v]
+				}
+				t.wts[p] = w
+			}
+		}
+	}
+	return t
+}
+
+// splitRowsByNNZ partitions rows [0, n) into at most p contiguous blocks of
+// roughly equal nonzero count (power-law graphs concentrate edges on hub
+// rows, so equal-row blocks would leave most workers idle). Returns block
+// boundaries; boundaries affect load balance only, never results.
+func splitRowsByNNZ(rowPtr []int32, p int) []int {
+	n := len(rowPtr) - 1
+	if p > n {
+		p = n
+	}
+	total := int64(rowPtr[n])
+	bounds := append(make([]int, 0, p+1), 0)
+	for k := 1; k < p; k++ {
+		target := total * int64(k) / int64(p)
+		r := sort.Search(n, func(i int) bool { return int64(rowPtr[i]) >= target })
+		if r <= bounds[len(bounds)-1] {
+			continue
+		}
+		if r >= n {
+			break
+		}
+		bounds = append(bounds, r)
+	}
+	return append(bounds, n)
+}
+
 // NormAdj is the symmetric-normalised adjacency with self-loops used by GCN:
-// Â = D̃^(-1/2) (A+I) D̃^(-1/2), stored sparsely. Â is symmetric, so it is its
+// Â = D̃^(-1/2) (A+I) D̃^(-1/2), stored as CSR. Â is symmetric, so it is its
 // own transpose in the backward pass.
 type NormAdj struct {
-	n       int
-	nbrs    [][]graph.V
-	weights [][]float32
+	n   int
+	adj *csr
 }
 
 // NewNormAdj precomputes Â for g.
 func NewNormAdj(g *graph.Graph) *NormAdj {
 	n := g.NumVertices()
-	a := &NormAdj{n: n, nbrs: make([][]graph.V, n), weights: make([][]float32, n)}
 	invSqrt := make([]float64, n)
+	nnz := 0
 	for v := 0; v < n; v++ {
-		invSqrt[v] = 1 / math.Sqrt(float64(g.Degree(graph.V(v))+1))
+		d := g.Degree(graph.V(v))
+		invSqrt[v] = 1 / math.Sqrt(float64(d+1))
+		nnz += d + 1
+	}
+	c := &csr{
+		n:      n,
+		rowPtr: make([]int32, n+1),
+		col:    make([]graph.V, 0, nnz),
+		wts:    make([]float32, 0, nnz),
 	}
 	for v := 0; v < n; v++ {
-		ns := g.Neighbors(graph.V(v))
-		a.nbrs[v] = append(append([]graph.V(nil), ns...), graph.V(v)) // self-loop
-		w := make([]float32, len(ns)+1)
-		for i, u := range ns {
-			w[i] = float32(invSqrt[v] * invSqrt[u])
+		for _, u := range g.Neighbors(graph.V(v)) {
+			c.col = append(c.col, u)
+			c.wts = append(c.wts, float32(invSqrt[v]*invSqrt[u]))
 		}
-		w[len(ns)] = float32(invSqrt[v] * invSqrt[v])
-		a.weights[v] = w
+		c.col = append(c.col, graph.V(v)) // self-loop last, as before
+		c.wts = append(c.wts, float32(invSqrt[v]*invSqrt[v]))
+		c.rowPtr[v+1] = int32(len(c.col))
 	}
-	return a
+	return &NormAdj{n: n, adj: c}
 }
 
 // NeighborsOf exposes row v's column indices (neighbors plus self-loop),
 // for external chunked executors (internal/gnndist's HongTu offloading).
-func (a *NormAdj) NeighborsOf(v int) []graph.V { return a.nbrs[v] }
+func (a *NormAdj) NeighborsOf(v int) []graph.V {
+	return a.adj.col[a.adj.rowPtr[v]:a.adj.rowPtr[v+1]]
+}
 
 // WeightsOf exposes row v's normalised weights, aligned with NeighborsOf.
-func (a *NormAdj) WeightsOf(v int) []float32 { return a.weights[v] }
+func (a *NormAdj) WeightsOf(v int) []float32 {
+	return a.adj.wts[a.adj.rowPtr[v]:a.adj.rowPtr[v+1]]
+}
 
 // Apply computes Â·H.
 func (a *NormAdj) Apply(h *tensor.Matrix) *tensor.Matrix {
 	out := tensor.New(a.n, h.Cols)
-	for v := 0; v < a.n; v++ {
-		or := out.Row(v)
-		for i, u := range a.nbrs[v] {
-			w := a.weights[v][i]
-			hr := h.Row(int(u))
-			for j := range or {
-				or[j] += w * hr[j]
-			}
-		}
-	}
+	a.ApplyInto(h, out)
 	return out
 }
 
-// MeanAgg is GraphSAGE's mean aggregator over (open) neighborhoods.
+// ApplyInto computes Â·H into out (fully overwritten), allocating nothing.
+func (a *NormAdj) ApplyInto(h, out *tensor.Matrix) { a.adj.apply(h, out, nil) }
+
+// MeanAgg is GraphSAGE's mean aggregator over (open) neighborhoods. The
+// neighbor lists are hoisted into CSR once at construction (the old
+// implementation re-derived g.Neighbors(v) on every call); the forward pass
+// keeps the sum-then-scale evaluation order (Σh)·(1/|N(v)|) of the serial
+// kernel, and isolated vertices still produce zero rows.
 type MeanAgg struct {
-	g *graph.Graph
+	n    int
+	adj  *csr      // unit-weight open neighborhoods
+	adjT *csr      // transpose with weights 1/|N(src)|
+	inv  []float32 // 1/|N(v)|, 0 for isolated vertices
 }
 
-// NewMeanAgg wraps g.
-func NewMeanAgg(g *graph.Graph) *MeanAgg { return &MeanAgg{g: g} }
+// NewMeanAgg precomputes the aggregation CSR (and its transpose) for g.
+func NewMeanAgg(g *graph.Graph) *MeanAgg {
+	n := g.NumVertices()
+	m := &MeanAgg{n: n, inv: make([]float32, n)}
+	nnz := 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(graph.V(v))
+		nnz += d
+		if d > 0 {
+			m.inv[v] = 1 / float32(d)
+		}
+	}
+	c := &csr{n: n, rowPtr: make([]int32, n+1), col: make([]graph.V, 0, nnz)}
+	for v := 0; v < n; v++ {
+		c.col = append(c.col, g.Neighbors(graph.V(v))...)
+		c.rowPtr[v+1] = int32(len(c.col))
+	}
+	m.adj = c
+	m.adjT = c.transpose(m.inv)
+	return m
+}
 
 // Apply computes row v = mean of h over N(v) (zeros for isolated vertices).
 func (m *MeanAgg) Apply(h *tensor.Matrix) *tensor.Matrix {
-	n := m.g.NumVertices()
-	out := tensor.New(n, h.Cols)
-	for v := 0; v < n; v++ {
-		ns := m.g.Neighbors(graph.V(v))
-		if len(ns) == 0 {
-			continue
-		}
-		or := out.Row(v)
-		for _, u := range ns {
-			hr := h.Row(int(u))
-			for j := range or {
-				or[j] += hr[j]
-			}
-		}
-		inv := 1 / float32(len(ns))
-		for j := range or {
-			or[j] *= inv
-		}
-	}
+	out := tensor.New(m.n, h.Cols)
+	m.ApplyInto(h, out)
 	return out
 }
 
-// ApplyT computes the transpose action (scatter of the backward pass):
+// ApplyInto is Apply into a preallocated out (fully overwritten).
+func (m *MeanAgg) ApplyInto(h, out *tensor.Matrix) { m.adj.apply(h, out, m.inv) }
+
+// ApplyT computes the transpose action (the backward pass):
 // out_u = Σ_{v : u∈N(v)} dy_v / |N(v)|. For undirected graphs this equals
 // Σ_{v∈N(u)} dy_v / |N(v)|.
 func (m *MeanAgg) ApplyT(dy *tensor.Matrix) *tensor.Matrix {
-	n := m.g.NumVertices()
-	out := tensor.New(n, dy.Cols)
-	for v := 0; v < n; v++ {
-		ns := m.g.Neighbors(graph.V(v))
-		if len(ns) == 0 {
-			continue
-		}
-		inv := 1 / float32(len(ns))
-		dr := dy.Row(v)
-		for _, u := range ns {
-			or := out.Row(int(u))
-			for j := range dr {
-				or[j] += inv * dr[j]
-			}
-		}
-	}
+	out := tensor.New(m.n, dy.Cols)
+	m.ApplyTInto(dy, out)
 	return out
 }
+
+// ApplyTInto is ApplyT into a preallocated out (fully overwritten).
+func (m *MeanAgg) ApplyTInto(dy, out *tensor.Matrix) { m.adjT.apply(dy, out, nil) }

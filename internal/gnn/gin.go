@@ -6,30 +6,51 @@ import (
 	"graphsys/internal/tensor"
 )
 
-// SumAgg is sum aggregation over open neighborhoods. For undirected graphs
-// the operator is symmetric, so it is its own adjoint.
+// SumAgg is sum aggregation over open neighborhoods, stored as CSR built
+// once at construction (the old implementation re-derived g.Neighbors(v) on
+// every call). For undirected graphs the operator is symmetric, so it is its
+// own adjoint; ApplyT uses an explicit transpose CSR and so stays correct for
+// directed graphs too.
 type SumAgg struct {
-	g *graph.Graph
+	n    int
+	adj  *csr
+	adjT *csr
 }
 
-// NewSumAgg wraps g.
-func NewSumAgg(g *graph.Graph) *SumAgg { return &SumAgg{g: g} }
+// NewSumAgg precomputes the aggregation CSR (and its transpose) for g.
+func NewSumAgg(g *graph.Graph) *SumAgg {
+	n := g.NumVertices()
+	nnz := 0
+	for v := 0; v < n; v++ {
+		nnz += g.Degree(graph.V(v))
+	}
+	c := &csr{n: n, rowPtr: make([]int32, n+1), col: make([]graph.V, 0, nnz)}
+	for v := 0; v < n; v++ {
+		c.col = append(c.col, g.Neighbors(graph.V(v))...)
+		c.rowPtr[v+1] = int32(len(c.col))
+	}
+	return &SumAgg{n: n, adj: c, adjT: c.transpose(nil)}
+}
 
 // Apply computes row v = Σ_{u∈N(v)} h_u.
 func (s *SumAgg) Apply(h *tensor.Matrix) *tensor.Matrix {
-	n := s.g.NumVertices()
-	out := tensor.New(n, h.Cols)
-	for v := 0; v < n; v++ {
-		or := out.Row(v)
-		for _, u := range s.g.Neighbors(graph.V(v)) {
-			hr := h.Row(int(u))
-			for j := range or {
-				or[j] += hr[j]
-			}
-		}
-	}
+	out := tensor.New(s.n, h.Cols)
+	s.ApplyInto(h, out)
 	return out
 }
+
+// ApplyInto is Apply into a preallocated out (fully overwritten).
+func (s *SumAgg) ApplyInto(h, out *tensor.Matrix) { s.adj.apply(h, out, nil) }
+
+// ApplyT computes the transpose action out_u = Σ_{v : u∈N(v)} dy_v.
+func (s *SumAgg) ApplyT(dy *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(s.n, dy.Cols)
+	s.ApplyTInto(dy, out)
+	return out
+}
+
+// ApplyTInto is ApplyT into a preallocated out (fully overwritten).
+func (s *SumAgg) ApplyTInto(dy, out *tensor.Matrix) { s.adjT.apply(dy, out, nil) }
 
 // GINLayer is the Graph Isomorphism Network layer (Xu et al.), the
 // maximally-expressive 1-WL aggregator: h'_v = σ(W·((1+ε)h_v + Σ_{u∈N(v)}
@@ -41,6 +62,9 @@ type GINLayer struct {
 	lin  *nn.Dense
 	act  *nn.ReLU
 	last bool
+
+	z  *tensor.Matrix // reused (1+ε)h + A·h buffer (cached by lin)
+	dh *tensor.Matrix // reused backward output
 }
 
 // NewGINLayer builds a GIN-0 layer over g.
@@ -50,9 +74,10 @@ func NewGINLayer(g *graph.Graph, in, out int, last bool, seed int64) *GINLayer {
 
 // Forward computes σ(W·(h + A·h) + b).
 func (l *GINLayer) Forward(h *tensor.Matrix) *tensor.Matrix {
-	z := l.agg.Apply(h)
-	z.AddInPlace(h) // (1+ε)h with ε=0
-	out := l.lin.Forward(z)
+	l.z = tensor.Reuse(l.z, h.Rows, h.Cols)
+	l.agg.ApplyInto(h, l.z)
+	l.z.AddInPlace(h) // (1+ε)h with ε=0
+	out := l.lin.Forward(l.z)
 	if l.last {
 		return out
 	}
@@ -65,9 +90,10 @@ func (l *GINLayer) Backward(dy *tensor.Matrix) *tensor.Matrix {
 		dy = l.act.Backward(dy)
 	}
 	dz := l.lin.Backward(dy)
-	dh := l.agg.Apply(dz)
-	dh.AddInPlace(dz)
-	return dh
+	l.dh = tensor.Reuse(l.dh, dz.Rows, dz.Cols)
+	l.agg.ApplyInto(dz, l.dh)
+	l.dh.AddInPlace(dz)
+	return l.dh
 }
 
 // Params returns the layer parameters.

@@ -1,10 +1,12 @@
 package gnndist
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
 	"graphsys/internal/cluster"
+	"graphsys/internal/tensor"
 )
 
 // crashPlan injects a single worker crash at round r.
@@ -212,4 +214,45 @@ func TestCountedSourceRewind(t *testing.T) {
 		}
 	}
 	_ = prefix
+}
+
+// TestParallelKernelsExactLoss re-runs the crash-recovery equivalence with
+// the parallel tensor kernels enabled: training with parallelism 8 must
+// produce the EXACT loss of the serial run, and crash recovery under
+// parallelism must still replay to that same value. This is the distributed
+// half of the kernel determinism contract.
+func TestParallelKernelsExactLoss(t *testing.T) {
+	oldProcs := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(oldProcs)
+	defer tensor.SetParallelism(0)
+
+	task := distTask()
+	serial := TrainerConfig{Workers: 4, TimeBudget: 12, Seed: 21}
+	serial.RunOptions = cluster.RunOptions{Parallelism: 1}
+	want, err := TrainSync(task, serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := TrainerConfig{Workers: 4, TimeBudget: 12, Seed: 21}
+	par.RunOptions = cluster.RunOptions{Parallelism: 8}
+	got, err := TrainSync(task, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Loss != want.Loss || got.TestAcc != want.TestAcc || got.Steps != want.Steps {
+		t.Fatalf("parallel kernels changed results: loss %v vs %v, acc %v vs %v, steps %d vs %d",
+			got.Loss, want.Loss, got.TestAcc, want.TestAcc, got.Steps, want.Steps)
+	}
+
+	crash := TrainerConfig{Workers: 4, TimeBudget: 12, Seed: 21, CheckpointEvery: 2}
+	crash.RunOptions = crashPlan(5)
+	crash.RunOptions.Parallelism = 8
+	rec, err := TrainSync(task, crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Loss != want.Loss || rec.TestAcc != want.TestAcc || rec.Steps != want.Steps {
+		t.Fatalf("recovered parallel run diverged: loss %v vs %v", rec.Loss, want.Loss)
+	}
 }

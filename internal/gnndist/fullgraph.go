@@ -20,6 +20,7 @@ import (
 // only every few epochs.
 type delayedAdj struct {
 	n      int
+	nnz    int64 // total adjacency entries, for the parallel-kernel work gate
 	nbrs   [][]graph.V
 	wts    [][]float32
 	remote [][]bool // aligned with nbrs: true if the edge crosses partitions
@@ -44,28 +45,33 @@ func newDelayedAdj(g *graph.Graph, part *partition.Partition) *delayedAdj {
 		w[len(ns)] = float32(invSqrt[v] * invSqrt[v])
 		a.wts[v] = w
 		a.remote[v] = r
+		a.nnz += int64(len(ns) + 1)
 	}
 	return a
 }
 
 // apply computes Â·H using fresh rows for local edges and stale rows for
-// remote edges.
+// remote edges. The gather is row-owned, so it parallelises over destination
+// vertices with bitwise-identical results at any worker count; the scatter in
+// applyLocalT is not row-owned and stays serial.
 func (a *delayedAdj) apply(fresh, stale *tensor.Matrix) *tensor.Matrix {
 	out := tensor.New(a.n, fresh.Cols)
-	for v := 0; v < a.n; v++ {
-		or := out.Row(v)
-		for i, u := range a.nbrs[v] {
-			src := fresh
-			if a.remote[v][i] {
-				src = stale
-			}
-			w := a.wts[v][i]
-			hr := src.Row(int(u))
-			for j := range or {
-				or[j] += w * hr[j]
+	tensor.ParallelFor(a.n, a.nnz*int64(fresh.Cols), func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			or := out.Row(v)
+			for i, u := range a.nbrs[v] {
+				src := fresh
+				if a.remote[v][i] {
+					src = stale
+				}
+				w := a.wts[v][i]
+				hr := src.Row(int(u))
+				for j := range or {
+					or[j] += w * hr[j]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 

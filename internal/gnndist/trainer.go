@@ -113,6 +113,9 @@ func (c *TrainerConfig) validate() error {
 	if c.CheckpointEvery < 0 {
 		return fmt.Errorf("gnndist: TrainerConfig.CheckpointEvery = %d, want >= 0", c.CheckpointEvery)
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("gnndist: TrainerConfig.Parallelism = %d, want >= 0", c.Parallelism)
+	}
 	return nil
 }
 

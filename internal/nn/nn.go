@@ -27,12 +27,17 @@ func NewParam(w *tensor.Matrix) *Param {
 // ZeroGrad clears the gradient.
 func (p *Param) ZeroGrad() { p.Grad.Zero() }
 
-// Dense is a fully connected layer Y = X·W + b.
+// Dense is a fully connected layer Y = X·W + b. The layer owns its forward
+// and backward output buffers: shapes are stable across training steps, so
+// after the first step Forward/Backward allocate nothing. Each returned
+// matrix is valid until the next call of the same method on this layer.
 type Dense struct {
 	W *Param
 	B *Param
 
-	x *tensor.Matrix // cached input
+	x  *tensor.Matrix // cached input
+	y  *tensor.Matrix // reused Forward output
+	dx *tensor.Matrix // reused Backward output
 }
 
 // NewDense creates a Dense layer with Xavier-initialised weights.
@@ -46,14 +51,21 @@ func NewDense(in, out int, seed int64) *Dense {
 // Forward computes X·W + b, caching X for the backward pass.
 func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 	d.x = x
-	y := tensor.MatMul(x, d.W.W)
-	y.AddRowVector(d.B.W.Row(0))
-	return y
+	d.y = tensor.Reuse(d.y, x.Rows, d.W.W.Cols)
+	tensor.MatMulInto(x, d.W.W, d.y)
+	d.y.AddRowVector(d.B.W.Row(0))
+	return d.y
 }
 
 // Backward accumulates dW, dB and returns dX.
 func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	d.W.Grad.AddInPlace(tensor.MatMulT1(d.x, dy))
+	// dW goes through pooled scratch, not straight into Grad: the kernel
+	// owns the full accumulation of XᵀdY, and the single AddInPlace keeps
+	// the same order as the old MatMulT1-then-add when Grad is nonzero.
+	gw := tensor.Get(d.W.W.Rows, d.W.W.Cols)
+	tensor.MatMulT1Into(d.x, dy, gw)
+	d.W.Grad.AddInPlace(gw)
+	tensor.Put(gw)
 	bg := d.B.Grad.Row(0)
 	for i := 0; i < dy.Rows; i++ {
 		r := dy.Row(i)
@@ -61,40 +73,53 @@ func (d *Dense) Backward(dy *tensor.Matrix) *tensor.Matrix {
 			bg[j] += r[j]
 		}
 	}
-	return tensor.MatMulT2(dy, d.W.W)
+	d.dx = tensor.Reuse(d.dx, dy.Rows, d.W.W.Rows)
+	tensor.MatMulT2Into(dy, d.W.W, d.dx)
+	return d.dx
 }
 
 // Params returns the layer's trainable parameters.
 func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 
-// ReLU activation.
+// ReLU activation. Output buffers (and the mask) are layer-owned and reused
+// across steps; every element is written on both branches, so stale contents
+// never leak.
 type ReLU struct {
-	mask []bool
+	mask      []bool
+	out, dout *tensor.Matrix
 }
 
-// Forward applies max(0, x).
+// Forward applies max(0, x). The result is valid until the next Forward.
 func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
-	r.mask = make([]bool, len(x.Data))
-	out := x.Clone()
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	r.out = tensor.Reuse(r.out, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if v <= 0 {
-			out.Data[i] = 0
+			r.out.Data[i] = 0
+			r.mask[i] = false
 		} else {
+			r.out.Data[i] = v
 			r.mask[i] = true
 		}
 	}
-	return out
+	return r.out
 }
 
-// Backward gates the upstream gradient.
+// Backward gates the upstream gradient. The result is valid until the next
+// Backward.
 func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
-	out := dy.Clone()
-	for i := range out.Data {
-		if !r.mask[i] {
-			out.Data[i] = 0
+	r.dout = tensor.Reuse(r.dout, dy.Rows, dy.Cols)
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			r.dout.Data[i] = v
+		} else {
+			r.dout.Data[i] = 0
 		}
 	}
-	return out
+	return r.dout
 }
 
 // SoftmaxCrossEntropy computes mean cross-entropy loss over rows given
@@ -115,6 +140,7 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 		return 0, grad
 	}
 	inv := float32(1.0 / float64(n))
+	exps := make([]float64, logits.Cols) // hoisted: fully rewritten per row
 	for i := 0; i < logits.Rows; i++ {
 		y := labels[i]
 		if y < 0 {
@@ -129,7 +155,6 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int) (float64, *tensor.
 			}
 		}
 		var sum float64
-		exps := make([]float64, len(row))
 		for j, v := range row {
 			exps[j] = math.Exp(float64(v - max))
 			sum += exps[j]
@@ -297,6 +322,8 @@ type Dropout struct {
 	Eval bool
 	seed uint64
 	mask []bool
+
+	out, dout *tensor.Matrix // reused across steps; every element rewritten
 }
 
 // NewDropout creates a dropout layer with drop probability p.
@@ -311,39 +338,45 @@ func (d *Dropout) next() float64 {
 	return float64(d.seed%1_000_000) / 1_000_000
 }
 
-// Forward applies dropout (or identity in Eval mode).
+// Forward applies dropout (or identity in Eval mode). The result is valid
+// until the next Forward.
 func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
 	if d.Eval || d.P <= 0 {
 		d.mask = nil
 		return x
 	}
-	out := x.Clone()
-	d.mask = make([]bool, len(x.Data))
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]bool, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	d.out = tensor.Reuse(d.out, x.Rows, x.Cols)
 	scale := float32(1 / (1 - d.P))
-	for i := range out.Data {
+	for i, v := range x.Data {
 		if d.next() < d.P {
-			out.Data[i] = 0
+			d.out.Data[i] = 0
+			d.mask[i] = false
 		} else {
 			d.mask[i] = true
-			out.Data[i] *= scale
+			d.out.Data[i] = v * scale
 		}
 	}
-	return out
+	return d.out
 }
 
-// Backward gates the gradient through the dropout mask.
+// Backward gates the gradient through the dropout mask. The result is valid
+// until the next Backward.
 func (d *Dropout) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if d.mask == nil {
 		return dy
 	}
-	out := dy.Clone()
+	d.dout = tensor.Reuse(d.dout, dy.Rows, dy.Cols)
 	scale := float32(1 / (1 - d.P))
-	for i := range out.Data {
+	for i, v := range dy.Data {
 		if d.mask[i] {
-			out.Data[i] *= scale
+			d.dout.Data[i] = v * scale
 		} else {
-			out.Data[i] = 0
+			d.dout.Data[i] = 0
 		}
 	}
-	return out
+	return d.dout
 }

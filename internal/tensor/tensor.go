@@ -76,68 +76,151 @@ func (m *Matrix) Zero() {
 	}
 }
 
-// MatMul returns a×b.
+// kBlock is the cache-blocking factor along the contraction dimension: the
+// kernels process panels of kBlock rows of b (kBlock × Cols floats) so the
+// panel stays hot in L1/L2 across the whole row range of a. Blocking keeps
+// the per-element accumulation order (k strictly increasing), so blocked and
+// naive kernels are bitwise identical.
+const kBlock = 128
+
+// MatMul returns a×b. The kernel is cache-blocked and runs on the worker
+// pool above SerialWorkThreshold; results are bitwise identical at any
+// parallelism level (see the determinism contract in parallel.go).
 func MatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	MatMulInto(a, b, out)
+	return out
+}
+
+// MatMulInto computes a×b into out (which it zeroes first), allocating
+// nothing. out must have shape a.Rows×b.Cols and alias neither input.
+func MatMulInto(a, b, out *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := New(a.Rows, b.Cols)
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Row(i)
+	checkInto("matmul", out, a.Rows, b.Cols, a, b)
+	ParallelFor(a.Rows, int64(a.Rows)*int64(a.Cols)*int64(b.Cols), func(lo, hi int) {
+		matMulRange(a, b, out, lo, hi)
+	})
+}
+
+// matMulRange computes output rows [lo, hi) of a×b: the serial kernel every
+// parallelism level reproduces exactly. For each element the contraction
+// index k increases monotonically (across and within k-panels), matching the
+// naive i-k-j loop bit for bit.
+func matMulRange(a, b, out *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		or := out.Row(i)
-		for k, av := range ar {
-			if av == 0 {
-				continue
-			}
-			br := b.Row(k)
-			for j, bv := range br {
-				or[j] += av * bv
+		for j := range or {
+			or[j] = 0
+		}
+	}
+	for k0 := 0; k0 < a.Cols; k0 += kBlock {
+		k1 := k0 + kBlock
+		if k1 > a.Cols {
+			k1 = a.Cols
+		}
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for k := k0; k < k1; k++ {
+				av := ar[k]
+				if av == 0 {
+					continue
+				}
+				br := b.Row(k)
+				for j, bv := range br {
+					or[j] += av * bv
+				}
 			}
 		}
 	}
-	return out
 }
 
 // MatMulT1 returns aᵀ×b without materialising the transpose.
 func MatMulT1(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic("tensor: matmulT1 shape mismatch")
-	}
 	out := New(a.Cols, b.Cols)
-	for r := 0; r < a.Rows; r++ {
-		ar, br := a.Row(r), b.Row(r)
-		for i, av := range ar {
-			if av == 0 {
-				continue
-			}
+	MatMulT1Into(a, b, out)
+	return out
+}
+
+// MatMulT1Into computes aᵀ×b into out (which it zeroes first). out must have
+// shape a.Cols×b.Cols and alias neither input. Parallel goroutines own
+// disjoint output-row blocks (columns of a); each accumulates over the shared
+// contraction rows r in the same increasing order as the serial kernel.
+func MatMulT1Into(a, b, out *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulT1 shape mismatch %dx%dᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkInto("matmulT1", out, a.Cols, b.Cols, a, b)
+	ParallelFor(a.Cols, int64(a.Rows)*int64(a.Cols)*int64(b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			or := out.Row(i)
-			for j, bv := range br {
-				or[j] += av * bv
+			for j := range or {
+				or[j] = 0
 			}
 		}
-	}
-	return out
+		for r := 0; r < a.Rows; r++ {
+			ar, br := a.Row(r), b.Row(r)
+			for i := lo; i < hi; i++ {
+				av := ar[i]
+				if av == 0 {
+					continue
+				}
+				or := out.Row(i)
+				for j, bv := range br {
+					or[j] += av * bv
+				}
+			}
+		}
+	})
 }
 
 // MatMulT2 returns a×bᵀ without materialising the transpose.
 func MatMulT2(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic("tensor: matmulT2 shape mismatch")
-	}
 	out := New(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		ar := a.Row(i)
-		or := out.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			br := b.Row(j)
-			var s float32
-			for k, av := range ar {
-				s += av * br[k]
+	MatMulT2Into(a, b, out)
+	return out
+}
+
+// MatMulT2Into computes a×bᵀ into out (which it zeroes first). out must have
+// shape a.Rows×b.Rows and alias neither input.
+func MatMulT2Into(a, b, out *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT2 shape mismatch %dx%d × %dx%dᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkInto("matmulT2", out, a.Rows, b.Rows, a, b)
+	ParallelFor(a.Rows, int64(a.Rows)*int64(b.Rows)*int64(a.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.Row(i)
+			or := out.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				br := b.Row(j)
+				var s float32
+				for k, av := range ar {
+					s += av * br[k]
+				}
+				or[j] = s
 			}
-			or[j] = s
+		}
+	})
+}
+
+// checkInto validates the output operand of an *Into kernel: exact shape and
+// no aliasing with either input (the kernels zero out first, which would
+// destroy an aliased input).
+func checkInto(op string, out *Matrix, rows, cols int, ins ...*Matrix) {
+	if out.Rows != rows || out.Cols != cols {
+		panic(fmt.Sprintf("tensor: %s output %dx%d, want %dx%d", op, out.Rows, out.Cols, rows, cols))
+	}
+	if len(out.Data) == 0 {
+		return
+	}
+	for _, in := range ins {
+		if len(in.Data) > 0 && &in.Data[0] == &out.Data[0] {
+			panic(fmt.Sprintf("tensor: %s output aliases an input", op))
 		}
 	}
-	return out
 }
 
 // T returns the transpose.
@@ -187,7 +270,7 @@ func (m *Matrix) Scale(s float32) {
 // AddRowVector adds vector v (length Cols) to every row.
 func (m *Matrix) AddRowVector(v []float32) {
 	if len(v) != m.Cols {
-		panic("tensor: row vector length mismatch")
+		panic(fmt.Sprintf("tensor: row vector length %d != cols %d", len(v), m.Cols))
 	}
 	for i := 0; i < m.Rows; i++ {
 		r := m.Row(i)
@@ -208,28 +291,45 @@ func (m *Matrix) Apply(f func(float32) float32) *Matrix {
 
 // ConcatCols returns [a | b] (same row count).
 func ConcatCols(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic("tensor: concat row mismatch")
-	}
 	out := New(a.Rows, a.Cols+b.Cols)
+	ConcatColsInto(a, b, out)
+	return out
+}
+
+// ConcatColsInto writes [a | b] into out, which must be a.Rows×(a.Cols+b.Cols).
+func ConcatColsInto(a, b, out *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: concat row mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	checkInto("concat", out, a.Rows, a.Cols+b.Cols, a, b)
 	for i := 0; i < a.Rows; i++ {
 		copy(out.Row(i)[:a.Cols], a.Row(i))
 		copy(out.Row(i)[a.Cols:], b.Row(i))
 	}
-	return out
 }
 
 // SplitCols splits m into the first `at` columns and the rest.
 func SplitCols(m *Matrix, at int) (*Matrix, *Matrix) {
 	if at < 0 || at > m.Cols {
-		panic("tensor: split out of range")
+		panic(fmt.Sprintf("tensor: split at %d out of range for %dx%d", at, m.Rows, m.Cols))
 	}
 	a, b := New(m.Rows, at), New(m.Rows, m.Cols-at)
-	for i := 0; i < m.Rows; i++ {
-		copy(a.Row(i), m.Row(i)[:at])
-		copy(b.Row(i), m.Row(i)[at:])
-	}
+	SplitColsInto(m, a, b)
 	return a, b
+}
+
+// SplitColsInto splits m into a (the first a.Cols columns) and b (the rest).
+// a and b must have m.Rows rows and a.Cols+b.Cols must equal m.Cols.
+func SplitColsInto(m, a, b *Matrix) {
+	if a.Cols < 0 || a.Cols > m.Cols {
+		panic(fmt.Sprintf("tensor: split at %d out of range for %dx%d", a.Cols, m.Rows, m.Cols))
+	}
+	checkInto("split", a, m.Rows, a.Cols, m)
+	checkInto("split", b, m.Rows, m.Cols-a.Cols, m)
+	for i := 0; i < m.Rows; i++ {
+		copy(a.Row(i), m.Row(i)[:a.Cols])
+		copy(b.Row(i), m.Row(i)[a.Cols:])
+	}
 }
 
 // SelectRows returns the submatrix with the given rows (in order).
