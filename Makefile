@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-kernels bench-smoke
+.PHONY: build test race vet verify bench bench-kernels bench-comms bench-smoke
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,15 @@ bench-kernels:
 	$(GO) test -bench 'MatMul|Agg|Train' -benchmem -run '^$$' ./internal/tensor/ ./internal/gnn/
 	$(GO) run ./cmd/benchkernels -out BENCH_kernels.json
 
-# Quick harness-correctness pass of the kernel report (few iterations; wired
-# into verify so the JSON stays generatable). Writes to a scratch path so it
-# never clobbers the committed full-run BENCH_kernels.json.
+# Messaging-substrate benchmarks: staged per-sender outboxes vs the legacy
+# per-message-lock path, micro-benchmarks plus the BENCH_comms.json report.
+bench-comms:
+	$(GO) test -bench Send -benchmem -run '^$$' ./internal/cluster/
+	$(GO) run ./cmd/benchcomms -out BENCH_comms.json
+
+# Quick harness-correctness pass of the kernel and comms reports (few
+# iterations; wired into verify so the JSON stays generatable). Writes to
+# scratch paths so it never clobbers the committed full-run reports.
 bench-smoke:
 	$(GO) run ./cmd/benchkernels -smoke -out BENCH_kernels.smoke.json
+	$(GO) run ./cmd/benchcomms -smoke -out BENCH_comms.smoke.json

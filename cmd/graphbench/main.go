@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"graphsys/internal/cluster"
@@ -26,27 +28,63 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main's body with a normal return path, so the pprof writers
+// installed by -cpuprofile/-mutexprofile always flush (os.Exit would skip
+// their defers).
+func run() int {
 	traceOut := flag.String("trace", "", "write a JSON observability trace (traffic matrix, round series, worker skew) for one Pregel and one gnndist workload to this file")
 	par := flag.Int("parallelism", 0, "goroutines for the tensor compute kernels (0 = GOMAXPROCS); results are bitwise identical at any setting")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
+	mutexProf := flag.String("mutexprofile", "", "write a mutex-contention profile to this file — the messaging path's lock behaviour under load")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: graphbench [-trace out.json] [-parallelism n] [all | <experiment-id>...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: graphbench [-trace out.json] [-parallelism n] [-cpuprofile cpu.out] [-mutexprofile mutex.out] [all | <experiment-id>...]\n\n")
 		list()
 	}
 	flag.Parse()
 	tensor.SetParallelism(*par)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "graphbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer func() {
+			f, err := os.Create(*mutexProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "graphbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			if err := pprof.Lookup("mutex").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "graphbench: %v\n", err)
+			}
+		}()
+	}
 	args := flag.Args()
 	if *traceOut != "" {
 		if err := writeTrace(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "graphbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if len(args) == 0 {
-			return
+			return 0
 		}
 	}
 	if len(args) == 0 {
 		list()
-		return
+		return 0
 	}
 	var ids []string
 	if len(args) == 1 && args[0] == "all" {
@@ -60,17 +98,18 @@ func main() {
 		exp, ok := experiments.ByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "graphbench: unknown experiment %q (run with no args to list)\n", id)
-			os.Exit(1)
+			return 1
 		}
 		start := time.Now()
 		table, err := runExperiment(exp)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "graphbench: experiment %s failed: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		table.Fprint(os.Stdout)
 		fmt.Printf("  [%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
 // runExperiment runs one experiment, converting a panic inside it (the

@@ -124,24 +124,59 @@ func (fi *FaultInjector) SlowFactor(w int) float64 {
 }
 
 // drawDrops returns how many transmissions of one message fail before it
-// gets through (0 = delivered first try), and meters the retries. Called by
-// Network.Account with the wire size of the message.
+// gets through (0 = delivered first try), and meters the retries. Called
+// with the wire size of the message.
 func (fi *FaultInjector) drawDrops(size int64) int {
-	if fi == nil || fi.plan.DropProb <= 0 {
-		return 0
-	}
-	fi.mu.Lock()
-	defer fi.mu.Unlock()
-	drops := 0
-	for drops < fi.plan.MaxRetries && fi.rng.Float64() < fi.plan.DropProb {
+	drops, _ := fi.drawDropsUniform(1, size)
+	return int(drops)
+}
+
+// drawOne draws the drop count for a single message of the given size and
+// meters the retries. Caller holds fi.mu.
+func (fi *FaultInjector) drawOne(size int64) int64 {
+	drops := int64(0)
+	for drops < int64(fi.plan.MaxRetries) && fi.rng.Float64() < fi.plan.DropProb {
 		drops++
 	}
 	if drops > 0 {
-		fi.stats.DroppedMessages += int64(drops)
-		fi.stats.RetryBytes += size * int64(drops)
+		fi.stats.DroppedMessages += drops
+		fi.stats.RetryBytes += size * drops
 		fi.stats.RetryTime += fi.plan.RetryBackoff * float64(drops)
 	}
 	return drops
+}
+
+// drawDropsUniform draws drops for msgs messages of uniform size under one
+// lock acquisition (the batched-accounting path). It returns the total failed
+// transmissions and the wasted bytes they carried.
+func (fi *FaultInjector) drawDropsUniform(msgs, size int64) (drops, retryBytes int64) {
+	if fi == nil || fi.plan.DropProb <= 0 {
+		return 0, 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	for k := int64(0); k < msgs; k++ {
+		drops += fi.drawOne(size)
+	}
+	return drops, drops * size
+}
+
+// drawDropsBatch draws drops for one message per entry of sizes under one
+// lock acquisition (the staged-flush path, where message sizes may differ).
+// It returns the total failed transmissions and the wasted bytes they
+// carried.
+func (fi *FaultInjector) drawDropsBatch(sizes []int64) (drops, retryBytes int64) {
+	if fi == nil || fi.plan.DropProb <= 0 {
+		return 0, 0
+	}
+	fi.mu.Lock()
+	defer fi.mu.Unlock()
+	for _, size := range sizes {
+		d := fi.drawOne(size)
+		drops += d
+		retryBytes += d * size
+	}
+	return drops, retryBytes
 }
 
 // NoteCheckpoint meters one checkpoint snapshot of the given volume; engines

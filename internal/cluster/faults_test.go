@@ -85,10 +85,14 @@ func TestDropRetryMetering(t *testing.T) {
 	if st.RetryTime != 0.25*float64(st.DroppedMessages) {
 		t.Fatalf("retry time %f, want %f", st.RetryTime, 0.25*float64(st.DroppedMessages))
 	}
-	// wasted transmissions are real traffic: aggregates include them
+	// wasted transmissions are real wire traffic: Attempts/Bytes include
+	// them, while Messages counts only the logical payloads
 	ns := net.Stats()
-	if ns.Messages != sends+st.DroppedMessages {
-		t.Fatalf("messages %d, want %d + %d retries", ns.Messages, sends, st.DroppedMessages)
+	if ns.Messages != sends {
+		t.Fatalf("messages %d, want %d logical sends", ns.Messages, int64(sends))
+	}
+	if ns.Attempts != sends+st.DroppedMessages {
+		t.Fatalf("attempts %d, want %d + %d retries", ns.Attempts, sends, st.DroppedMessages)
 	}
 	if ns.Bytes != int64(sends*size)+st.RetryBytes {
 		t.Fatalf("bytes %d, want %d payload + %d retry", ns.Bytes, sends*size, st.RetryBytes)
@@ -113,8 +117,11 @@ func TestDropRetriesBoundedByMaxRetries(t *testing.T) {
 	if st.DroppedMessages != 3 {
 		t.Fatalf("dropped %d, want MaxRetries=3", st.DroppedMessages)
 	}
-	if net.Stats().Messages != 4 { // 3 failed attempts + final delivery
-		t.Fatalf("messages %d, want 4", net.Stats().Messages)
+	if net.Stats().Attempts != 4 { // 3 failed attempts + final delivery
+		t.Fatalf("attempts %d, want 4", net.Stats().Attempts)
+	}
+	if net.Stats().Messages != 1 { // one logical message got through
+		t.Fatalf("messages %d, want 1", net.Stats().Messages)
 	}
 }
 
@@ -173,7 +180,11 @@ func TestDropRetryConcurrentSenders(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if net.Stats().Messages < 800 {
-		t.Fatalf("messages %d below payload count", net.Stats().Messages)
+	s := net.Stats()
+	if s.Messages != 800 {
+		t.Fatalf("messages %d, want 800 logical", s.Messages)
+	}
+	if s.Attempts <= 800 {
+		t.Fatalf("attempts %d, want retries above the 800 payloads at p=0.3", s.Attempts)
 	}
 }

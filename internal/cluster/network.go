@@ -15,27 +15,44 @@ import (
 // per-byte link cost matrix: a fast NVLink pair has cost ≪ 1, a cross-host
 // TCP link cost 1.
 //
+// Metering has two entry points with identical accounting semantics:
+//
+//   - Account / AccountBatch — the direct path, one (or one batched) lock
+//     acquisition per call. Engines that move bulk tensors once per round
+//     (gnndist weight sync, feature pulls) use these.
+//   - the staged path — Mailboxes stages messages per sender without touching
+//     the network at all, and flushes each sender's per-destination totals
+//     under ONE lock acquisition per sender per round at Exchange. This is
+//     the message hot path (Pregel-style engines), where per-message locking
+//     would dominate the run.
+//
 // With EnableTrace the network additionally keeps a per-link (worker×worker)
 // traffic matrix and a per-round history (one RoundStats per AccountRound),
-// the raw material of the observability layer in internal/obs.
+// the raw material of the observability layer in internal/obs. Per-round
+// stats are flush-driven: staged traffic lands in the current round's window
+// at the Exchange that flushes it, which is also the round boundary.
 type Network struct {
 	n int
-
-	messages atomic.Int64
-	bytes    atomic.Int64
-	local    atomic.Int64
-	rounds   atomic.Int64
 
 	traceOn atomic.Bool
 	faults  atomic.Pointer[FaultInjector] // non-nil once a fault plan is installed
 
+	// All counters live under one mutex so Stats() is a consistent snapshot
+	// (messages/bytes/cost can never be observed torn mid-update). The staged
+	// path acquires it once per sender per round, so it is uncontended there;
+	// the direct Account path acquires it per call, exactly as before.
 	mu       sync.Mutex
-	linkCost [][]float64 // guarded by mu: SetLinkCost may race with Account
+	messages int64 // logical cross-worker messages (delivered payloads)
+	attempts int64 // physical transmissions incl. FaultPlan retries, ≥ messages
+	bytes    int64 // cross-worker bytes on the wire, incl. retry traffic
+	local    int64 // worker-local deliveries
+	rounds   int64
 	cost     float64
+	linkCost [][]float64 // SetLinkCost may race with Account
 
 	// tracing state (allocated by EnableTrace, guarded by mu)
-	linkBytes []int64 // n×n row-major: bytes sent i→j
-	linkMsgs  []int64 // n×n row-major: messages sent i→j
+	linkBytes []int64 // n×n row-major: wire bytes sent i→j (incl. retries)
+	linkMsgs  []int64 // n×n row-major: transmissions i→j (incl. retries)
 	cur       RoundStats
 	history   []RoundStats
 }
@@ -108,62 +125,119 @@ func (net *Network) setFaults(fi *FaultInjector) { net.faults.Store(fi) }
 //
 // Under an installed FaultPlan with DropProb > 0, a cross-worker transfer may
 // be "dropped" and retransmitted: the message is always eventually delivered
-// (bounded by MaxRetries), but every failed attempt is accounted as real link
-// traffic — the wasted bytes a lossy network actually carries.
+// (bounded by MaxRetries), so it counts once toward Messages, but every
+// failed attempt is accounted as real link traffic — Attempts, Bytes and
+// WeightedCost include the wasted transmissions a lossy network actually
+// carries.
 func (net *Network) Account(i, j int, size int64) {
+	net.AccountBatch(i, j, 1, size)
+}
+
+// AccountBatch records msgs transfers totalling bytes from worker i to worker
+// j under a single lock acquisition — the batched-transfer accounting the
+// surveyed systems' communication layers (Giraph superstep batching, DistDGL
+// block feature transfer) use to avoid per-message overhead. Fault-plan drops
+// are drawn per message with the batch's mean message size, so retry metering
+// matches msgs individual Account calls for uniform-size batches.
+func (net *Network) AccountBatch(i, j int, msgs, bytes int64) {
 	net.checkLink(i, j)
-	if i == j {
-		net.local.Add(1)
-		if net.traceOn.Load() {
-			net.mu.Lock()
-			net.cur.LocalMessages++
-			net.mu.Unlock()
-		}
+	if msgs <= 0 {
 		return
 	}
-	attempts := int64(1 + net.faults.Load().drawDrops(size))
-	net.messages.Add(attempts)
-	net.bytes.Add(size * attempts)
+	if i == j {
+		net.mu.Lock()
+		net.local += msgs
+		if net.traceOn.Load() {
+			net.cur.LocalMessages += msgs
+		}
+		net.mu.Unlock()
+		return
+	}
+	drops, retryBytes := net.faults.Load().drawDropsUniform(msgs, bytes/msgs)
+	attempts := msgs + drops
+	wire := bytes + retryBytes
 	net.mu.Lock()
-	c := float64(size*attempts) * net.linkCost[i][j]
+	net.messages += msgs
+	net.attempts += attempts
+	net.bytes += wire
+	c := float64(wire) * net.linkCost[i][j]
 	net.cost += c
 	if net.traceOn.Load() {
 		k := i*net.n + j
-		net.linkBytes[k] += size * attempts
+		net.linkBytes[k] += wire
 		net.linkMsgs[k] += attempts
-		net.cur.Messages += attempts
-		net.cur.Bytes += size * attempts
+		net.cur.Messages += msgs
+		net.cur.Attempts += attempts
+		net.cur.Bytes += wire
 		net.cur.WeightedCost += c
 	}
 	net.mu.Unlock()
 }
 
+// flushSender is the staged path's metering entry: it lands sender `from`'s
+// whole round of traffic — per-destination logical messages, physical
+// attempts and wire bytes, plus worker-local deliveries — under ONE lock
+// acquisition. Drop draws already happened at the caller (flush time), so the
+// critical section is pure accumulation.
+func (net *Network) flushSender(from int, msgs, attempts, bytes []int64, localMsgs int64) {
+	net.mu.Lock()
+	defer net.mu.Unlock()
+	tr := net.traceOn.Load()
+	if localMsgs > 0 {
+		net.local += localMsgs
+		if tr {
+			net.cur.LocalMessages += localMsgs
+		}
+	}
+	for d := range msgs {
+		if msgs[d] == 0 {
+			continue
+		}
+		net.messages += msgs[d]
+		net.attempts += attempts[d]
+		net.bytes += bytes[d]
+		c := float64(bytes[d]) * net.linkCost[from][d]
+		net.cost += c
+		if tr {
+			k := from*net.n + d
+			net.linkBytes[k] += bytes[d]
+			net.linkMsgs[k] += attempts[d]
+			net.cur.Messages += msgs[d]
+			net.cur.Attempts += attempts[d]
+			net.cur.Bytes += bytes[d]
+			net.cur.WeightedCost += c
+		}
+	}
+}
+
 // AccountRound records the completion of one global synchronisation round.
 // Under tracing it also closes the current RoundStats window.
 func (net *Network) AccountRound() {
-	r := net.rounds.Add(1)
-	if !net.traceOn.Load() {
-		return
-	}
 	net.mu.Lock()
-	cur := net.cur
-	cur.Round = int(r) - 1
-	net.history = append(net.history, cur)
-	net.cur = RoundStats{}
+	net.rounds++
+	if net.traceOn.Load() {
+		cur := net.cur
+		cur.Round = int(net.rounds) - 1
+		net.history = append(net.history, cur)
+		net.cur = RoundStats{}
+	}
 	net.mu.Unlock()
 }
 
 // RoundStats is the traffic accounted within one synchronisation round.
+// Attempts ≥ Messages; the difference is FaultPlan retry transmissions.
 type RoundStats struct {
 	Round         int     `json:"round"`
 	Messages      int64   `json:"messages"`
+	Attempts      int64   `json:"attempts"`
 	Bytes         int64   `json:"bytes"`
 	LocalMessages int64   `json:"local_messages"`
 	WeightedCost  float64 `json:"weighted_cost"`
 }
 
-// TrafficMatrix returns copies of the per-link byte and message totals
-// (bytes[i][j] = bytes sent i→j). Both are nil if tracing was never enabled.
+// TrafficMatrix returns copies of the per-link byte and transmission totals
+// (bytes[i][j] = wire bytes sent i→j, incl. retry traffic). Both are nil if
+// tracing was never enabled.
 func (net *Network) TrafficMatrix() (bytes, msgs [][]int64) {
 	net.mu.Lock()
 	defer net.mu.Unlock()
@@ -188,36 +262,45 @@ func (net *Network) RoundHistory() []RoundStats {
 }
 
 // Stats is a snapshot of network counters.
+//
+// Messages counts logical payloads delivered across workers; Attempts counts
+// physical transmissions, which exceed Messages exactly by the FaultPlan
+// retry traffic (Attempts − Messages = RecoveryStats.DroppedMessages). Bytes
+// and WeightedCost meter the wire, i.e. they include retries.
 type Stats struct {
-	Messages      int64   // cross-worker messages
-	Bytes         int64   // cross-worker bytes
+	Messages      int64   // logical cross-worker messages
+	Attempts      int64   // physical transmissions incl. retries (≥ Messages)
+	Bytes         int64   // cross-worker wire bytes incl. retries
 	LocalMessages int64   // worker-local deliveries (free)
 	Rounds        int64   // synchronisation rounds
-	WeightedCost  float64 // Σ bytes × linkCost
+	WeightedCost  float64 // Σ wire bytes × linkCost
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. All fields are read under one
+// lock, so the snapshot is internally consistent even mid-round (e.g. Bytes
+// is never ahead of the Attempts it belongs to).
 func (net *Network) Stats() Stats {
 	net.mu.Lock()
-	cost := net.cost
-	net.mu.Unlock()
+	defer net.mu.Unlock()
 	return Stats{
-		Messages:      net.messages.Load(),
-		Bytes:         net.bytes.Load(),
-		LocalMessages: net.local.Load(),
-		Rounds:        net.rounds.Load(),
-		WeightedCost:  cost,
+		Messages:      net.messages,
+		Attempts:      net.attempts,
+		Bytes:         net.bytes,
+		LocalMessages: net.local,
+		Rounds:        net.rounds,
+		WeightedCost:  net.cost,
 	}
 }
 
 // Reset zeroes all counters, including any collected trace (tracing stays
 // enabled if it was).
 func (net *Network) Reset() {
-	net.messages.Store(0)
-	net.bytes.Store(0)
-	net.local.Store(0)
-	net.rounds.Store(0)
 	net.mu.Lock()
+	net.messages = 0
+	net.attempts = 0
+	net.bytes = 0
+	net.local = 0
+	net.rounds = 0
 	net.cost = 0
 	for i := range net.linkBytes {
 		net.linkBytes[i] = 0
@@ -229,68 +312,6 @@ func (net *Network) Reset() {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("net{msgs=%d bytes=%d local=%d rounds=%d cost=%.0f}",
-		s.Messages, s.Bytes, s.LocalMessages, s.Rounds, s.WeightedCost)
+	return fmt.Sprintf("net{msgs=%d attempts=%d bytes=%d local=%d rounds=%d cost=%.0f}",
+		s.Messages, s.Attempts, s.Bytes, s.LocalMessages, s.Rounds, s.WeightedCost)
 }
-
-// Mailboxes is a double-buffered, superstep-oriented message store: messages
-// sent during round r become visible after Exchange(), matching the BSP
-// semantics of Pregel-style systems. It is safe for concurrent senders.
-type Mailboxes[M any] struct {
-	net     *Network
-	size    func(M) int64
-	mu      []sync.Mutex
-	inbox   [][]M // visible to receivers this round
-	outbox  [][]M // being filled for next round
-	pending atomic.Int64
-}
-
-// NewMailboxes creates mailboxes for n workers on net. size reports the wire
-// size of a message for metering; pass nil to meter a flat 8 bytes/message.
-func NewMailboxes[M any](net *Network, size func(M) int64) *Mailboxes[M] {
-	n := net.n
-	if size == nil {
-		size = func(M) int64 { return 8 }
-	}
-	return &Mailboxes[M]{
-		net:    net,
-		size:   size,
-		mu:     make([]sync.Mutex, n),
-		inbox:  make([][]M, n),
-		outbox: make([][]M, n),
-	}
-}
-
-// Send queues msg from worker `from` to worker `to` for the next round.
-func (mb *Mailboxes[M]) Send(from, to int, msg M) {
-	mb.net.Account(from, to, mb.size(msg))
-	mb.mu[to].Lock()
-	mb.outbox[to] = append(mb.outbox[to], msg)
-	mb.mu[to].Unlock()
-	mb.pending.Add(1)
-}
-
-// Exchange makes all queued messages visible and clears the previous round's
-// inboxes. Call it from exactly one goroutine at a barrier. It returns the
-// number of messages delivered.
-func (mb *Mailboxes[M]) Exchange() int64 {
-	delivered := mb.pending.Swap(0)
-	var zero M
-	for w := range mb.inbox {
-		in := mb.inbox[w]
-		// zero before truncating: the backing array is recycled as next
-		// round's outbox, and for pointer-bearing M the stale elements would
-		// otherwise keep last round's payloads reachable
-		for i := range in {
-			in[i] = zero
-		}
-		mb.inbox[w] = in[:0]
-		mb.inbox[w], mb.outbox[w] = mb.outbox[w], mb.inbox[w]
-	}
-	mb.net.AccountRound()
-	return delivered
-}
-
-// Receive returns the messages visible to worker w this round. The slice is
-// valid until the next Exchange.
-func (mb *Mailboxes[M]) Receive(w int) []M { return mb.inbox[w] }

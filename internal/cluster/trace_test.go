@@ -36,6 +36,7 @@ func TestSetLinkCostConcurrentWithAccount(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+	mb.Exchange() // staged sends meter at flush
 	if got := net.Stats().Messages; got != 1000 {
 		t.Fatalf("messages = %d, want 1000", got)
 	}

@@ -60,7 +60,7 @@ func ExtQuegel() *Table {
 		t.AddRow(nq, "sequential", sst.Supersteps, sst.Messages, ds)
 	}
 	t.Note("batched rounds stay ~constant (max eccentricity) while sequential rounds grow linearly with the query count")
-	t.Note("batched sends more messages (query-tagged, not combinable) — Quegel's win is the barrier count, which dominates latency on real clusters")
+	t.Note("per-(vertex, query id) combining keeps batched message counts at the sequential level — queries share barriers without multiplying traffic; the barrier count is what dominates latency on real clusters")
 	return t
 }
 

@@ -37,6 +37,10 @@ type FeatureStore struct {
 	// 0 or 32 means uncompressed fp32.
 	FeatureBits int
 
+	// remoteRows is Fetch's per-owner batching scratch (rows pending
+	// accounting for the in-progress call), reused across calls.
+	remoteRows []int64
+
 	Hits, Misses, Local int64
 }
 
@@ -83,9 +87,16 @@ func (fs *FeatureStore) RowBytes() int64 {
 // remote fetches (cache hits and locally-owned rows are free). With
 // FeatureBits set, REMOTE rows arrive quantise-dequantised; local and cached
 // rows are exact (they never cross the wire).
+//
+// Remote rows are accounted as one batched transfer per owner (DistDGL's
+// block feature fetch) instead of one Network.Account per row, so a large
+// sampled batch costs one lock acquisition per contacted partition.
 func (fs *FeatureStore) Fetch(w int, vids []graph.V) *tensor.Matrix {
 	out := tensor.New(len(vids), fs.X.Cols)
 	compress := fs.FeatureBits >= 2 && fs.FeatureBits <= 16
+	if fs.remoteRows == nil || len(fs.remoteRows) != fs.net.NumWorkers() {
+		fs.remoteRows = make([]int64, fs.net.NumWorkers())
+	}
 	for i, v := range vids {
 		owner := fs.Part.Assign[v]
 		remote := false
@@ -97,11 +108,18 @@ func (fs *FeatureStore) Fetch(w int, vids []graph.V) *tensor.Matrix {
 		default:
 			fs.Misses++
 			remote = true
-			fs.net.Account(owner, w, fs.RowBytes())
+			fs.remoteRows[owner]++
 		}
 		copy(out.Row(i), fs.X.Row(int(v)))
 		if compress && remote {
 			quantizeRow(out.Row(i), fs.FeatureBits)
+		}
+	}
+	rb := fs.RowBytes()
+	for owner, rows := range fs.remoteRows {
+		if rows > 0 {
+			fs.net.AccountBatch(owner, w, rows, rows*rb)
+			fs.remoteRows[owner] = 0
 		}
 	}
 	return out

@@ -17,16 +17,24 @@ import (
 // traffic from |sampled|·D to k·|batch targets|·H values.
 
 // PullLayer1 computes Z = X[batch]·W1 at worker `owner` by pulling the raw
-// feature rows of batch vertices from their partition owners. Returns Z and
+// feature rows of batch vertices from their partition owners. Remote rows
+// are accounted as one batched transfer per source partition. Returns Z and
 // the bytes transferred.
 func PullLayer1(net *cluster.Network, part *partition.Partition, x, w1 *tensor.Matrix, batch []graph.V, owner int) (*tensor.Matrix, int64) {
 	before := net.Stats().Bytes
 	rows := tensor.New(len(batch), x.Cols)
+	pulled := make([]int64, net.NumWorkers())
 	for i, v := range batch {
 		if part.Assign[v] != owner {
-			net.Account(part.Assign[v], owner, int64(x.Cols)*4)
+			pulled[part.Assign[v]]++
 		}
 		copy(rows.Row(i), x.Row(int(v)))
+	}
+	rowBytes := int64(x.Cols) * 4
+	for src, cnt := range pulled {
+		if cnt > 0 {
+			net.AccountBatch(src, owner, cnt, cnt*rowBytes)
+		}
 	}
 	z := tensor.MatMul(rows, w1)
 	return z, net.Stats().Bytes - before

@@ -26,8 +26,10 @@ type Trace struct {
 	Workload string `json:"workload"`
 	Workers  int    `json:"workers"`
 
-	// Global aggregates (always present).
+	// Global aggregates (always present). Messages counts logical payloads;
+	// Attempts counts physical transmissions including FaultPlan retries.
 	Messages      int64   `json:"messages"`
+	Attempts      int64   `json:"attempts"`
 	Bytes         int64   `json:"bytes"`
 	LocalMessages int64   `json:"local_messages"`
 	Rounds        int64   `json:"rounds"`
@@ -74,6 +76,7 @@ func Collect(workload string, c *cluster.Cluster) *Trace {
 		Workload:      workload,
 		Workers:       c.NumWorkers(),
 		Messages:      st.Messages,
+		Attempts:      st.Attempts,
 		Bytes:         st.Bytes,
 		LocalMessages: st.LocalMessages,
 		Rounds:        st.Rounds,
@@ -184,14 +187,14 @@ func WriteAll(w io.Writer, traces []*Trace) error {
 }
 
 // WriteCSV writes the per-round series as CSV
-// (round,messages,bytes,local_messages,weighted_cost).
+// (round,messages,attempts,bytes,local_messages,weighted_cost).
 func (t *Trace) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "round,messages,bytes,local_messages,weighted_cost"); err != nil {
+	if _, err := fmt.Fprintln(w, "round,messages,attempts,bytes,local_messages,weighted_cost"); err != nil {
 		return err
 	}
 	for _, r := range t.RoundSeries {
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%g\n",
-			r.Round, r.Messages, r.Bytes, r.LocalMessages, r.WeightedCost); err != nil {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%g\n",
+			r.Round, r.Messages, r.Attempts, r.Bytes, r.LocalMessages, r.WeightedCost); err != nil {
 			return err
 		}
 	}

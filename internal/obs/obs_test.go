@@ -53,6 +53,7 @@ const goldenJSON = `{
   "workload": "golden",
   "workers": 2,
   "messages": 4,
+  "attempts": 4,
   "bytes": 200,
   "local_messages": 1,
   "rounds": 2,
@@ -61,6 +62,7 @@ const goldenJSON = `{
     {
       "round": 0,
       "messages": 3,
+      "attempts": 3,
       "bytes": 136,
       "local_messages": 1,
       "weighted_cost": 136
@@ -68,6 +70,7 @@ const goldenJSON = `{
     {
       "round": 1,
       "messages": 1,
+      "attempts": 1,
       "bytes": 64,
       "local_messages": 0,
       "weighted_cost": 64
@@ -136,9 +139,9 @@ func TestWriteCSVGolden(t *testing.T) {
 	if err := tr.WriteCSV(&buf); err != nil {
 		t.Fatal(err)
 	}
-	want := "round,messages,bytes,local_messages,weighted_cost\n" +
-		"0,3,136,1,136\n" +
-		"1,1,64,0,64\n"
+	want := "round,messages,attempts,bytes,local_messages,weighted_cost\n" +
+		"0,3,3,136,1,136\n" +
+		"1,1,1,64,0,64\n"
 	if buf.String() != want {
 		t.Fatalf("CSV drifted:\n%s", buf.String())
 	}

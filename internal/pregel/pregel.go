@@ -83,8 +83,17 @@ type Program[S, M any] struct {
 	// is active in superstep 0, and whenever it has incoming messages).
 	Compute func(ctx *Context[M], v graph.V, state *S, msgs []M)
 	// Combine, if non-nil, merges two messages addressed to the same vertex
-	// on the sender side (Pregel's combiner), cutting message volume.
+	// on the sender side (Pregel's combiner), cutting message volume. The
+	// combiner runs inside the cluster substrate's staging buffers
+	// (cluster.Mailboxes.SetCombiner), so combining happens as messages are
+	// queued, before any of them is metered on the network.
 	Combine func(a, b M) M
+	// CombineKey, if non-nil, refines the combining granularity: only
+	// messages to the same vertex with equal CombineKey(m) are merged. Quegel
+	// uses it to combine per (vertex, query id) so concurrent queries'
+	// frontiers never mix. The key's low 32 bits are used; leave nil to
+	// combine all messages addressed to one vertex (classic Pregel).
+	CombineKey func(m M) int32
 }
 
 // Context is the per-worker handle passed to Compute.
@@ -95,9 +104,8 @@ type Context[M any] struct {
 	superstep int
 	halted    bool // set per vertex via VoteToHalt; reset by engine
 
-	outPlain    []vmsg[M]
-	outCombined map[graph.V]M
-	combine     func(a, b M) M
+	out       *cluster.Outbox[vmsg[M]]
+	partition []int
 
 	aggLocal map[string]float64
 }
@@ -117,17 +125,11 @@ func (c *Context[M]) Superstep() int { return c.superstep }
 // Graph returns the input graph.
 func (c *Context[M]) Graph() *graph.Graph { return c.g }
 
-// Send sends m to vertex to, delivered at the next superstep.
+// Send sends m to vertex to, delivered at the next superstep. The message
+// goes straight into the sending worker's staging outbox — a lock-free
+// append, combined on the fly when the program has a combiner.
 func (c *Context[M]) Send(to graph.V, m M) {
-	if c.combine != nil {
-		if old, ok := c.outCombined[to]; ok {
-			c.outCombined[to] = c.combine(old, m)
-		} else {
-			c.outCombined[to] = m
-		}
-		return
-	}
-	c.outPlain = append(c.outPlain, vmsg[M]{to, m})
+	c.out.Send(c.partition[to], vmsg[M]{to, m})
 }
 
 // SendToNeighbors sends m to every neighbor of v.
@@ -196,6 +198,20 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 	})
 
 	mb := cluster.NewMailboxes[vmsg[M]](net, func(vmsg[M]) int64 { return cfg.MsgBytes })
+	if prog.Combine != nil {
+		// hoist the program's combiner into the substrate: combine messages
+		// with the same destination vertex (refined by CombineKey when set)
+		// inside the sender's staging buffer
+		key := func(vm vmsg[M]) int64 { return int64(vm.to) << 32 }
+		if prog.CombineKey != nil {
+			key = func(vm vmsg[M]) int64 {
+				return int64(vm.to)<<32 | int64(uint32(prog.CombineKey(vm.m)))
+			}
+		}
+		mb.SetCombiner(key, func(a, b vmsg[M]) vmsg[M] {
+			return vmsg[M]{a.to, prog.Combine(a.m, b.m)}
+		})
+	}
 	// per-vertex message buffers (only the owner worker touches an entry)
 	msgs := make([][]M, n)
 
@@ -280,11 +296,9 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 		c.Run(func(w int) {
 			ctx := &Context[M]{
 				eng: eng, g: g, worker: w, superstep: step,
-				combine:  prog.Combine,
-				aggLocal: map[string]float64{},
-			}
-			if prog.Combine != nil {
-				ctx.outCombined = make(map[graph.V]M)
+				out:       mb.Outbox(w),
+				partition: cfg.Partition,
+				aggLocal:  map[string]float64{},
 			}
 			for _, v := range owned[w] {
 				if !active[v] {
@@ -297,16 +311,8 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 					active[v] = false
 				}
 			}
-			// flush outgoing messages
-			if prog.Combine != nil {
-				for to, m := range ctx.outCombined {
-					mb.Send(w, cfg.Partition[to], vmsg[M]{to, m})
-				}
-			} else {
-				for _, vm := range ctx.outPlain {
-					mb.Send(w, cfg.Partition[vm.to], vm)
-				}
-			}
+			// outgoing messages are already staged in the worker's outbox;
+			// Exchange at the barrier meters and delivers them
 			if len(ctx.aggLocal) > 0 {
 				mu.Lock()
 				for k, v := range ctx.aggLocal {

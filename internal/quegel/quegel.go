@@ -44,8 +44,21 @@ type qmsg struct {
 // query id, and every superstep advances all BFS frontiers together. The
 // barrier count is max(per-query rounds), not the sum — Quegel's
 // superstep-sharing.
+//
+// Messages are combined sender-side per (destination vertex, query id) by
+// the substrate's hoisted combiner: when several neighbors on one worker
+// reach the same vertex for the same query in one superstep, only the
+// minimum distance crosses the network. CombineKey keeps distinct queries'
+// frontiers apart — min-combining across query ids would corrupt answers.
 func AnswerBatched(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer, Stats, error) {
 	prog := pregel.Program[map[int32]int32, qmsg]{
+		Combine: func(a, b qmsg) qmsg {
+			if b.dist < a.dist {
+				return b
+			}
+			return a
+		},
+		CombineKey: func(m qmsg) int32 { return m.qid },
 		Init: func(g *graph.Graph, v graph.V) map[int32]int32 {
 			st := map[int32]int32{}
 			for qi, q := range queries {
