@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: build test race vet verify bench bench-kernels bench-comms bench-smoke
+.PHONY: build test race vet lint verify bench bench-kernels bench-comms bench-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# graphlint: the repo-specific contracts (determinism, metered clock, seeded
+# RNG, runtime-owned concurrency, error-return policy). See DESIGN.md §3.9.
+lint:
+	$(GO) run ./cmd/graphlint ./...
 
 test:
 	$(GO) test ./...
@@ -18,7 +23,7 @@ race:
 	$(GO) test -race ./internal/cluster/ ./internal/pregel/ ./internal/gnndist/ ./internal/tensor/ ./internal/gnn/
 
 # The full pre-commit gate: referenced from .claude/skills/verify/SKILL.md.
-verify: vet build test race bench-smoke
+verify: vet lint build test race bench-smoke
 	@echo "verify: OK"
 
 bench:

@@ -60,6 +60,7 @@ type Network struct {
 // NewNetwork creates a network for n workers with uniform link cost 1.
 func NewNetwork(n int) *Network {
 	if n <= 0 {
+		//lint:allow panicpolicy worker count is a configuration constant; a zero network is a programmer error, not a runtime condition
 		panic("cluster: network needs at least one worker")
 	}
 	lc := make([][]float64, n)

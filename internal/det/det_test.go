@@ -1,0 +1,36 @@
+package det
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestSortedKeysInt(t *testing.T) {
+	m := map[int]string{5: "e", 1: "a", 3: "c", 2: "b", 4: "d"}
+	for trial := 0; trial < 8; trial++ { // map order is randomised per range
+		ks := SortedKeys(m)
+		if !sort.IntsAreSorted(ks) {
+			t.Fatalf("trial %d: keys not sorted: %v", trial, ks)
+		}
+		if len(ks) != len(m) {
+			t.Fatalf("trial %d: got %d keys, want %d", trial, len(ks), len(m))
+		}
+	}
+}
+
+func TestSortedKeysString(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	ks := SortedKeys(m)
+	want := []string{"a", "b", "c"}
+	for i, k := range ks {
+		if k != want[i] {
+			t.Fatalf("got %v, want %v", ks, want)
+		}
+	}
+}
+
+func TestSortedKeysEmpty(t *testing.T) {
+	if ks := SortedKeys(map[int]int{}); len(ks) != 0 {
+		t.Fatalf("got %v, want empty", ks)
+	}
+}

@@ -278,10 +278,7 @@ func ExtNeuralCount() *Table {
 func ExtGraphD() *Table {
 	t := &Table{ID: "ext-graphd", Title: "GraphD semi-external processing (edges on disk)",
 		Header: []string{"graph", "edge bytes (disk)", "resident bytes", "passes", "bytes streamed", "components"}}
-	dir, err := os.MkdirTemp("", "graphd-exp")
-	if err != nil {
-		panic(err)
-	}
+	dir := must2(os.MkdirTemp("", "graphd-exp"))
 	defer os.RemoveAll(dir)
 	for i, spec := range []struct {
 		name string
@@ -290,14 +287,8 @@ func ExtGraphD() *Table {
 		{"ER n=5000 deg 8", gen.ErdosRenyi(5000, 20000, 3)},
 		{"BA n=5000 k=6", gen.BarabasiAlbert(5000, 6, 4)},
 	} {
-		ef, err := graphd.WriteEdgeFile(spec.g, filepath.Join(dir, fmt.Sprintf("e%d.bin", i)))
-		if err != nil {
-			panic(err)
-		}
-		labels, st, err := ef.ConnectedComponents(spec.g.NumVertices())
-		if err != nil {
-			panic(err)
-		}
+		ef := must2(graphd.WriteEdgeFile(spec.g, filepath.Join(dir, fmt.Sprintf("e%d.bin", i))))
+		labels, st := must3(ef.ConnectedComponents(spec.g.NumVertices()))
 		comps := map[int32]bool{}
 		for _, l := range labels {
 			comps[l] = true

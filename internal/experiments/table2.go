@@ -221,6 +221,7 @@ func Table2PushPull() *Table {
 		netPush := cluster.NewNetwork(k)
 		zPush, pushBytes := gnndist.PushPullLayer1(netPush, fd, x, w1, batch, 0)
 		if tensor.MaxAbsDiff(zPull, zPush) > 1e-2 {
+			//lint:allow panicpolicy cross-validation assertion between pull and push-pull layer results; graphbench recovers it into a non-zero exit
 			panic("push-pull result mismatch")
 		}
 		winner := "pull"

@@ -96,6 +96,7 @@ func MineTransactions(db *graph.TransactionDB, cfg MineConfig) []Pattern {
 	for _, t := range tasks {
 		wg.Add(1)
 		sem <- struct{}{}
+		//lint:allow nakedgo semaphore-bounded gSpan root-task pool, joined via WaitGroup; subtree results are merged under one mutex
 		go func(t rootTask) {
 			defer wg.Done()
 			defer func() { <-sem }()

@@ -90,6 +90,7 @@ func MineSingleGraph(g *graph.Graph, cfg MineConfig) []Pattern {
 			}
 			wg.Add(1)
 			sem <- struct{}{}
+			//lint:allow nakedgo semaphore-bounded expansion pool, joined via WaitGroup; per-task results are merged under one mutex
 			go func(t task) {
 				defer wg.Done()
 				defer func() { <-sem }()

@@ -43,6 +43,7 @@ type Model struct {
 // feature dim, dims[len-1] = number of classes).
 func NewModel(g *graph.Graph, kind ModelKind, dims []int, seed int64) *Model {
 	if len(dims) < 2 {
+		//lint:allow panicpolicy architecture literals are fixed at call sites; an invalid dims slice is a programmer error at construction
 		panic("gnn: need at least input and output dims")
 	}
 	m := &Model{Kind: kind}
@@ -59,6 +60,7 @@ func NewModel(g *graph.Graph, kind ModelKind, dims []int, seed int64) *Model {
 		case GIN:
 			m.Layers = append(m.Layers, NewGINLayer(g, dims[i], dims[i+1], last, s))
 		default:
+			//lint:allow panicpolicy ModelKind is a closed enum; an unknown value is a programmer error at construction
 			panic("gnn: unknown model kind")
 		}
 	}

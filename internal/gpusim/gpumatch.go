@@ -181,6 +181,7 @@ func DFSWarpMatch(g *graph.Graph, plan *match.Plan, dev *Device) (int64, Metrics
 	var wg sync.WaitGroup
 	for w := 0; w < dev.NumSMs; w++ {
 		wg.Add(1)
+		//lint:allow nakedgo simulated-GPU warp pool, joined via WaitGroup; models SIMT lanes rather than cluster workers
 		go func(w int) {
 			defer wg.Done()
 			firstGrab := true
@@ -305,6 +306,7 @@ func dfsFromPrefixes(g *graph.Graph, plan *match.Plan, dev *Device, seeds [][]gr
 	var wg sync.WaitGroup
 	for w := 0; w < dev.NumSMs; w++ {
 		wg.Add(1)
+		//lint:allow nakedgo simulated-GPU warp pool, joined via WaitGroup; models SIMT lanes rather than cluster workers
 		go func() {
 			defer wg.Done()
 			first := true

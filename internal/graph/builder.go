@@ -21,6 +21,7 @@ type Builder struct {
 // NewBuilder returns a Builder for a graph with n vertices.
 func NewBuilder(n int, directed bool) *Builder {
 	if n < 0 {
+		//lint:allow panicpolicy negative vertex count is a programmer error at construction, documented precondition
 		panic("graph: negative vertex count")
 	}
 	return &Builder{n: n, directed: directed}
@@ -43,6 +44,7 @@ func (b *Builder) AddEdge(u, v V) { b.AddLabeledEdge(u, v, 0) }
 // AddLabeledEdge adds an edge carrying an edge label.
 func (b *Builder) AddLabeledEdge(u, v V, label int32) {
 	if int(u) >= b.n || int(v) >= b.n || u < 0 || v < 0 {
+		//lint:allow panicpolicy out-of-range vertex ids are a documented precondition; per-edge error returns would put a branch in every loader hot loop
 		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
 	}
 	if u == v {

@@ -83,6 +83,7 @@ func (g *Graph) EdgeLabel(u, v V) int32 {
 	ns := g.Neighbors(u)
 	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
 	if i >= len(ns) || ns[i] != v {
+		//lint:allow panicpolicy documented in the method contract: querying a non-existent arc is a programmer error
 		panic(fmt.Sprintf("graph: edge %d->%d does not exist", u, v))
 	}
 	if g.elabels == nil {

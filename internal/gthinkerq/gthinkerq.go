@@ -66,6 +66,12 @@ type Server struct {
 	// run DFS inline.
 	SplitDepth int
 
+	// now stamps query submission/completion for Latency. It defaults to the
+	// wall clock — latency of an interactive server is an observation about
+	// the host, not engine state — and tests inject a logical clock to keep
+	// latency assertions deterministic.
+	now func() time.Time
+
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues map[int64][]task // per-query LIFO stacks
@@ -81,12 +87,25 @@ func NewServer(g *graph.Graph, workers int) *Server {
 		workers = 4
 	}
 	s := &Server{g: g, SplitDepth: 2, queues: map[int64][]task{}}
+	//lint:allow wallclock query latency is host observability, never engine state; tests swap in a logical clock via SetClock
+	s.now = time.Now
 	s.cond = sync.NewCond(&s.mu)
 	for w := 0; w < workers; w++ {
 		s.wg.Add(1)
+		//lint:allow nakedgo bounded worker pool owned by the server, joined in Close; predates cluster.Run and serves latency-sensitive interactive queries
 		go s.worker()
 	}
 	return s
+}
+
+// SetClock replaces the timestamp source used for Query.Latency. Call it
+// before the first Submit; a nil clock resets to the wall clock.
+func (s *Server) SetClock(now func() time.Time) {
+	if now == nil {
+		//lint:allow wallclock explicit reset to the host clock, same justification as the NewServer default
+		now = time.Now
+	}
+	s.now = now
 }
 
 // Close shuts the server down after all in-flight queries complete. Submit
@@ -106,10 +125,10 @@ func (s *Server) Submit(pattern *graph.Graph) *Query {
 		ID:        s.nextID.Add(1),
 		Pattern:   pattern,
 		done:      make(chan struct{}),
-		submitted: time.Now(),
+		submitted: s.now(),
 	}
 	if pattern.NumVertices() == 0 {
-		q.finished = time.Now()
+		q.finished = s.now()
 		close(q.done)
 		return q
 	}
@@ -117,7 +136,7 @@ func (s *Server) Submit(pattern *graph.Graph) *Query {
 	// one root task per feasible first-vertex binding
 	roots := plan.CandidatesForPrefix(s.g, nil, nil)
 	if len(roots) == 0 {
-		q.finished = time.Now()
+		q.finished = s.now()
 		close(q.done)
 		return q
 	}
@@ -252,7 +271,7 @@ func (s *Server) execute(t task) {
 // finish decrements the query's pending-task count, completing it at zero.
 func (s *Server) finish(q *Query) {
 	if q.pending.Add(-1) == 0 {
-		q.finished = time.Now()
+		q.finished = s.now()
 		close(q.done)
 	}
 }

@@ -1,0 +1,22 @@
+package lint
+
+import "testing"
+
+// TestModuleIsClean is the contract `make lint` enforces, as a plain go
+// test: the real module must carry zero diagnostics. A regression anywhere
+// in the repo fails this test with the exact positioned finding.
+func TestModuleIsClean(t *testing.T) {
+	root, modpath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	cfg := Default()
+	cfg.ModulePath = modpath
+	diags, err := Run(root, cfg, Checks)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

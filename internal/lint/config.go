@@ -1,0 +1,85 @@
+package lint
+
+// Config scopes the checks to the repo's contracts. Everything is data so a
+// later PR widens a contract by editing a table, not a check. Paths are
+// module-relative, slash-separated directory prefixes; matching is on path
+// segment boundaries.
+type Config struct {
+	// ModulePath is the module's import path (go.mod `module` directive).
+	ModulePath string
+
+	// MapRangePkgs are the deterministic engine packages where map-range
+	// loops that feed observable state must iterate sorted keys.
+	MapRangePkgs []string
+	// SendMethods are method names that emit messages; calling one under map
+	// iteration order is a maprange violation.
+	SendMethods []string
+
+	// WallclockPkgs are the packages where the simulated cost model is the
+	// only clock: reading the wall clock there either perturbs results or
+	// (worse) silently replaces metered cost with host timing.
+	WallclockPkgs []string
+	// WallclockAllowFiles exempts files whose base name contains one of
+	// these substrings (benchmark drivers and observability exporters may
+	// read the host clock).
+	WallclockAllowFiles []string
+	// WallclockDenied are the functions of package time that constitute a
+	// wall-clock dependency.
+	WallclockDenied []string
+
+	// RandPkgs are import paths whose package-level functions draw from a
+	// process-global RNG; RandDenied are those functions. Constructors
+	// (New, NewSource, NewZipf, …) stay legal — injecting a seeded
+	// *rand.Rand is the contract.
+	RandPkgs    []string
+	RandDenied  []string
+	RandScope   []string // packages the globalrand check covers
+	GoScope     []string // packages the nakedgo check covers
+	GoAllowed   []string // packages that own concurrency (runtime + kernels)
+	PanicScope  []string // packages the panicpolicy check covers
+	PanicExempt []string // shape-validation packages allowed to panic
+}
+
+// Default is the repo's contract as of PR 5. The scopes mirror DESIGN.md
+// §3.9: determinism and metering bind the cluster runtime and the engines on
+// top of it; RNG injection and the error contract bind all of internal/.
+func Default() *Config {
+	return &Config{
+		ModulePath: "graphsys",
+
+		MapRangePkgs: []string{
+			"internal/cluster", "internal/pregel", "internal/blogel",
+			"internal/quegel", "internal/gnndist",
+		},
+		SendMethods: []string{
+			"Send", "SendTo", "SendToNeighbors", "SendAll", "Broadcast",
+			"Publish", "Emit", "Account", "AccountBatch",
+		},
+
+		WallclockPkgs: []string{
+			"internal/cluster", "internal/pregel", "internal/blogel",
+			"internal/quegel", "internal/gnndist", "internal/gnn",
+			"internal/tensor", "internal/gthinkerq", "internal/tthinker",
+		},
+		WallclockAllowFiles: []string{"_bench", "bench_"},
+		WallclockDenied: []string{
+			"Now", "Since", "Until", "Sleep", "After", "AfterFunc",
+			"NewTimer", "NewTicker", "Tick",
+		},
+
+		RandPkgs: []string{"math/rand", "math/rand/v2"},
+		RandDenied: []string{
+			"Int", "Intn", "Int31", "Int31n", "Int63", "Int63n", "IntN",
+			"Int32", "Int32N", "Int64", "Int64N", "N", "Uint32", "Uint64",
+			"UintN", "Uint64N", "Float32", "Float64", "ExpFloat64",
+			"NormFloat64", "Perm", "Shuffle", "Seed", "Read",
+		},
+		RandScope: []string{"internal"},
+
+		GoScope:   []string{"internal"},
+		GoAllowed: []string{"internal/cluster", "internal/tensor"},
+
+		PanicScope:  []string{"internal"},
+		PanicExempt: []string{"internal/tensor", "internal/nn"},
+	}
+}

@@ -1,0 +1,245 @@
+// Package lint implements graphlint, the repo-specific static-analysis
+// driver that machine-checks the runtime's behavioural contracts on every
+// `make verify` (DESIGN.md §3.9):
+//
+//   - maprange    — map iteration whose body emits messages or folds into
+//     outer state must iterate sorted keys (internal/det.SortedKeys) or
+//     carry a justified //lint:deterministic annotation. Go randomises map
+//     order; letting it reach observable state breaks bitwise-reproducible
+//     reruns (the Table 1 / Table 2 comparisons depend on them).
+//   - wallclock   — no wall-clock reads in deterministic engine paths; the
+//     cluster's metered cost model is the clock.
+//   - globalrand  — no global math/rand top-level functions in internal/;
+//     RNG is an injected seeded *rand.Rand so crash recovery can snapshot
+//     and rewind draw positions exactly.
+//   - nakedgo     — no `go` statements outside the cluster runtime and the
+//     tensor worker pool; the runtime owns concurrency.
+//   - panicpolicy — exported functions return errors instead of panicking
+//     (the PR 2 error contract); documented programmer-error preconditions
+//     carry a //lint:allow annotation.
+//
+// The driver is stdlib-only (go/parser, go/ast, go/token, go/types). Checks
+// are table-driven (Checks) so a new contract is ~30 lines: a Check value
+// plus a fixture file. Diagnostics are deterministic: sorted by file, line,
+// column, check, message.
+//
+// Suppression directives (a reason is mandatory — an annotation without one
+// is itself a diagnostic):
+//
+//	//lint:deterministic <reason>   suppresses maprange on this or the next line
+//	//lint:allow <check> <reason>   suppresses the named check on this or the next line
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one positioned finding. File is module-relative and
+// slash-separated so output is stable across machines.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Check is one contract. Run inspects a single package and reports through
+// the pass.
+type Check struct {
+	Name string
+	Doc  string
+	Run  func(p *Pass)
+}
+
+// Checks is the registry, in documentation order. cmd/graphlint runs all of
+// them unless -checks narrows the set.
+var Checks = []*Check{MapRange, WallClock, GlobalRand, NakedGo, PanicPolicy}
+
+// checkNames is used to validate //lint:allow directives.
+func checkNames() map[string]bool {
+	m := map[string]bool{}
+	for _, c := range Checks {
+		m[c.Name] = true
+	}
+	return m
+}
+
+// Pass hands one type-checked package to a check.
+type Pass struct {
+	Fset  *token.FileSet
+	Rel   string // module-relative package dir, e.g. "internal/pregel"
+	Files []*ast.File
+	Info  *types.Info
+	Cfg   *Config
+
+	relFile     func(string) string // absolute → module-relative file name
+	diags       *[]Diagnostic
+	annotations map[string]map[int]*annotation // rel file → line → directive
+}
+
+// Reportf records a diagnostic unless an annotation on the same line, or the
+// line directly above, suppresses the check.
+func (p *Pass) Reportf(check string, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	file := p.relFile(position.Filename)
+	if ann := p.annotationFor(file, position.Line, check); ann != nil {
+		ann.used = true
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:   check,
+		File:    file,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) annotationFor(file string, line int, check string) *annotation {
+	byLine := p.annotations[file]
+	for _, l := range [2]int{line, line - 1} {
+		if ann := byLine[l]; ann != nil && ann.suppresses(check) {
+			return ann
+		}
+	}
+	return nil
+}
+
+// PkgInScope reports whether the pass's package sits under any of the given
+// module-relative prefixes ("internal" covers the whole internal tree).
+func (p *Pass) PkgInScope(prefixes []string) bool {
+	for _, pre := range prefixes {
+		if pathWithin(p.Rel, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// pathWithin reports whether rel equals prefix or sits below it on a path
+// segment boundary ("internal/cluster" is within "internal", not within
+// "internal/clus").
+func pathWithin(rel, prefix string) bool {
+	return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+}
+
+// annotation is one parsed //lint: directive.
+type annotation struct {
+	check  string // check it suppresses
+	reason string
+	used   bool
+}
+
+func (a *annotation) suppresses(check string) bool {
+	return a.reason != "" && a.check == check
+}
+
+// parseAnnotations extracts //lint: directives from a file. Malformed
+// directives (unknown form, unknown check, missing reason) are reported as
+// lintdirective diagnostics and suppress nothing: an unjustified exemption
+// is a contract violation in its own right.
+func parseAnnotations(fset *token.FileSet, f *ast.File, known map[string]bool, diags *[]Diagnostic, rel func(string) string) map[int]*annotation {
+	out := map[int]*annotation{}
+	report := func(pos token.Pos, msg string) {
+		position := fset.Position(pos)
+		*diags = append(*diags, Diagnostic{
+			Check: "lintdirective", File: rel(position.Filename),
+			Line: position.Line, Col: position.Column, Message: msg,
+		})
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//lint:")
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			verb, rest, _ := strings.Cut(text, " ")
+			rest = strings.TrimSpace(rest)
+			switch verb {
+			case "deterministic":
+				if rest == "" {
+					report(c.Pos(), "//lint:deterministic needs a reason: //lint:deterministic <why iteration order cannot matter>")
+					continue
+				}
+				out[line] = &annotation{check: "maprange", reason: rest}
+			case "allow":
+				check, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if !known[check] {
+					report(c.Pos(), fmt.Sprintf("//lint:allow names unknown check %q", check))
+					continue
+				}
+				if reason == "" {
+					report(c.Pos(), fmt.Sprintf("//lint:allow %s needs a reason: //lint:allow %s <justification>", check, check))
+					continue
+				}
+				out[line] = &annotation{check: check, reason: reason}
+			default:
+				report(c.Pos(), fmt.Sprintf("unknown lint directive %q (want deterministic or allow)", verb))
+			}
+		}
+	}
+	return out
+}
+
+// Run loads every package under root (skipping testdata, vendor and hidden
+// directories; _test.go files are out of scope — tests are oracles, not
+// runtime paths), runs the given checks, and returns sorted diagnostics.
+// Type information is best-effort per package: module-local imports are
+// resolved from source, other imports are stubbed, and checks degrade
+// conservatively where types are unknown.
+func Run(root string, cfg *Config, checks []*Check) ([]Diagnostic, error) {
+	l, err := load(root, cfg.ModulePath)
+	if err != nil {
+		return nil, err
+	}
+	known := checkNames()
+	var diags []Diagnostic
+	for _, pk := range l.packages() {
+		p := &Pass{
+			Fset:        l.fset,
+			Rel:         pk.rel,
+			Files:       pk.files,
+			Info:        pk.info,
+			Cfg:         cfg,
+			relFile:     l.relFile,
+			diags:       &diags,
+			annotations: map[string]map[int]*annotation{},
+		}
+		for _, f := range pk.files {
+			name := l.relFile(l.fset.Position(f.Pos()).Filename)
+			p.annotations[name] = parseAnnotations(l.fset, f, known, &diags, l.relFile)
+		}
+		for _, c := range checks {
+			c.Run(p)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture convention: a `// want "substr"` comment expects a diagnostic
+// on its own line whose "check: message" rendering contains substr;
+// `// want+1 "substr"` expects it on the following line (used above //lint:
+// directives, where a trailing comment would become the directive's reason).
+var (
+	wantRe   = regexp.MustCompile(`// want(\+1)?((?:\s+"[^"]*")+)`)
+	quotedRe = regexp.MustCompile(`"([^"]*)"`)
+)
+
+type fixtureWant struct {
+	file string
+	line int
+	sub  string
+	hit  bool
+}
+
+func collectWants(t *testing.T, root string) []*fixtureWant {
+	t.Helper()
+	var wants []*fixtureWant
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		for i, lineText := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(lineText, -1) {
+				line := i + 1
+				if m[1] == "+1" {
+					line++
+				}
+				for _, q := range quotedRe.FindAllStringSubmatch(m[2], -1) {
+					wants = append(wants, &fixtureWant{file: rel, line: line, sub: q[1]})
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("collecting wants: %v", err)
+	}
+	if len(wants) == 0 {
+		t.Fatal("no // want comments found under testdata/src; fixtures missing?")
+	}
+	return wants
+}
+
+// TestFixtures runs every check over the golden fixture tree and matches the
+// diagnostics against the // want comments, both ways: an unexpected
+// diagnostic and an unmatched want are each failures.
+func TestFixtures(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	cfg := Default()
+	cfg.ModulePath = "fixture"
+	diags, err := Run(root, cfg, Checks)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wants := collectWants(t, root)
+	for _, d := range diags {
+		rendered := d.Check + ": " + d.Message
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.File && w.line == d.Line && strings.Contains(rendered, w.sub) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want diagnostic containing %q, got none", w.file, w.line, w.sub)
+		}
+	}
+}
+
+// TestEveryCheckCovered guards the fixture tree itself: each registered
+// check (and the lintdirective pseudo-check) must produce at least one
+// fixture diagnostic, so a new check cannot land without golden coverage.
+func TestEveryCheckCovered(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	cfg := Default()
+	cfg.ModulePath = "fixture"
+	diags, err := Run(root, cfg, Checks)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		seen[d.Check] = true
+	}
+	for _, c := range Checks {
+		if !seen[c.Name] {
+			t.Errorf("check %q has no positive fixture under testdata/src", c.Name)
+		}
+	}
+	if !seen["lintdirective"] {
+		t.Error("no fixture exercises malformed //lint: directives")
+	}
+}
+
+// TestDeterministicOutput: two runs over the same tree must agree exactly,
+// and the result must already be in the documented (file, line, col, check,
+// message) order — the property `graphlint -json` consumers rely on.
+func TestDeterministicOutput(t *testing.T) {
+	root := filepath.Join("testdata", "src")
+	cfg := Default()
+	cfg.ModulePath = "fixture"
+	a, err := Run(root, cfg, Checks)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	b, err := Run(root, cfg, Checks)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run-to-run drift: %d vs %d diagnostics", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("diag %d differs across runs: %s vs %s", i, a[i], b[i])
+		}
+		if i > 0 && !diagLess(a[i-1], a[i]) && a[i-1] != a[i] {
+			t.Errorf("diags %d,%d out of order: %s before %s", i-1, i, a[i-1], a[i])
+		}
+	}
+}
+
+func diagLess(a, b Diagnostic) bool {
+	if a.File != b.File {
+		return a.File < b.File
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	if a.Col != b.Col {
+		return a.Col < b.Col
+	}
+	if a.Check != b.Check {
+		return a.Check < b.Check
+	}
+	return a.Message < b.Message
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// loader parses and type-checks every package under one module root without
+// shelling out to the go command. Module-local imports are resolved from
+// source (so cross-package types — cluster.Outbox in pregel, tensor.Matrix
+// in gnn — are real); all other imports (stdlib included) are stubbed with
+// empty complete packages. Type errors caused by the stubs are swallowed:
+// go/types still records types for everything locally resolvable, which is
+// what the checks consume. Bitwise-identical inputs yield bitwise-identical
+// diagnostics — package order, file order and type-check order are all
+// lexicographic.
+type loader struct {
+	root    string // absolute module root
+	modpath string // module import path ("graphsys")
+	fset    *token.FileSet
+
+	byRel    map[string]*lpkg // "internal/pregel" → package record
+	rels     []string         // sorted keys of byRel
+	typed    map[string]*types.Package
+	checking map[string]bool // import-cycle guard
+}
+
+type lpkg struct {
+	rel   string // module-relative dir, slash-separated ("" = module root)
+	files []*ast.File
+	info  *types.Info
+}
+
+func load(root, modpath string) (*loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		root: abs, modpath: modpath, fset: token.NewFileSet(),
+		byRel: map[string]*lpkg{}, typed: map[string]*types.Package{}, checking: map[string]bool{},
+	}
+	if err := l.parseAll(); err != nil {
+		return nil, err
+	}
+	for _, rel := range l.rels {
+		l.ensureTyped(l.importPath(rel))
+	}
+	return l, nil
+}
+
+func (l *loader) importPath(rel string) string {
+	if rel == "" {
+		return l.modpath
+	}
+	return l.modpath + "/" + rel
+}
+
+// relFile maps an absolute file name inside the module to its slash-separated
+// module-relative form; files outside the module pass through unchanged.
+func (l *loader) relFile(abs string) string {
+	if r, err := filepath.Rel(l.root, abs); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return abs
+}
+
+func (l *loader) parseAll() error {
+	return filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(l.fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("graphlint: %w", perr)
+		}
+		rel := filepath.ToSlash(filepath.Dir(l.relFile(path)))
+		if rel == "." {
+			rel = ""
+		}
+		pk := l.byRel[rel]
+		if pk == nil {
+			pk = &lpkg{rel: rel}
+			l.byRel[rel] = pk
+			l.rels = append(l.rels, rel)
+		}
+		pk.files = append(pk.files, f)
+		return nil
+	})
+}
+
+// packages returns the parsed packages in deterministic (path) order.
+func (l *loader) packages() []*lpkg {
+	sort.Strings(l.rels)
+	out := make([]*lpkg, 0, len(l.rels))
+	for _, rel := range l.rels {
+		out = append(out, l.byRel[rel])
+	}
+	return out
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ensureTyped(path), nil
+}
+
+// ensureTyped returns the types.Package for an import path, type-checking
+// module-local packages from their parsed sources and stubbing everything
+// else (or any package currently mid-check, which breaks import cycles the
+// same conservative way).
+func (l *loader) ensureTyped(path string) *types.Package {
+	if tp, ok := l.typed[path]; ok {
+		return tp
+	}
+	rel, local := l.relForImport(path)
+	pk := l.byRel[rel]
+	if !local || pk == nil || l.checking[path] {
+		tp := types.NewPackage(path, pathBase(path))
+		tp.MarkComplete()
+		l.typed[path] = tp
+		return tp
+	}
+	l.checking[path] = true
+	// deterministic file order within the package
+	sort.Slice(pk.files, func(i, j int) bool {
+		return l.fset.Position(pk.files[i].Pos()).Filename < l.fset.Position(pk.files[j].Pos()).Filename
+	})
+	pk.info = &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer:         l,
+		Error:            func(error) {}, // stubbed imports make errors expected
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+	}
+	tp, _ := conf.Check(path, l.fset, pk.files, pk.info)
+	if tp == nil {
+		tp = types.NewPackage(path, pathBase(path))
+	}
+	tp.MarkComplete()
+	delete(l.checking, path)
+	l.typed[path] = tp
+	return tp
+}
+
+// relForImport maps an import path to a module-relative dir if it belongs to
+// this module.
+func (l *loader) relForImport(path string) (string, bool) {
+	if path == l.modpath {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modpath+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing go.mod
+// and returns it plus the declared module path.
+func ModuleRoot(dir string) (root, modpath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("graphlint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("graphlint: no go.mod found above %s", abs)
+		}
+	}
+}

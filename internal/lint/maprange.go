@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRange flags `for … range m` over a map, inside the deterministic engine
+// packages, whose body lets Go's randomised iteration order reach observable
+// state. The triggers, in the order they are searched:
+//
+//   - a message-send (configured method names, or a channel send),
+//   - an append growing state declared outside the loop,
+//   - a plain assignment to outer state (last-writer-wins fold),
+//   - a floating-point (or untyped) compound accumulation into outer state.
+//
+// Deliberately NOT flagged, because they commute across iteration orders:
+// integer compound accumulation (`n += len(v)`), `delete(m, k)`, and plain
+// writes to an outer map/slice indexed by the range key itself
+// (`out[k] = f(v)` touches distinct keys exactly once).
+//
+// The fix is to iterate det.SortedKeys(m), or to annotate the loop with
+// //lint:deterministic <reason> when the fold is provably order-independent
+// (e.g. an argmax under a strict total order).
+var MapRange = &Check{
+	Name: "maprange",
+	Doc:  "map iteration feeding messages, floats or output must use sorted keys or a //lint:deterministic annotation",
+	Run: func(p *Pass) {
+		if !p.PkgInScope(p.Cfg.MapRangePkgs) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok || !p.isMapType(rs.X) {
+					return true
+				}
+				if msg := p.mapRangeHazard(rs); msg != "" {
+					p.Reportf("maprange", rs.Pos(),
+						"map iteration order reaches observable state (%s); iterate det.SortedKeys or annotate //lint:deterministic", msg)
+				}
+				return true
+			})
+		}
+	},
+}
+
+func (p *Pass) isMapType(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// mapRangeHazard returns a description of the first order-sensitive effect
+// in the loop body, or "" if the body looks order-independent. Syntactic
+// (depth-first) search order keeps the chosen trigger deterministic.
+func (p *Pass) mapRangeHazard(rs *ast.RangeStmt) (hazard string) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if hazard != "" {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := st.Fun.(*ast.SelectorExpr); ok && inList(sel.Sel.Name, p.Cfg.SendMethods) {
+				hazard = "calls " + sel.Sel.Name
+				return false
+			}
+		case *ast.SendStmt:
+			hazard = "sends on a channel"
+			return false
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				h := p.assignHazard(rs, lhs, st.Tok)
+				if h == "" {
+					continue
+				}
+				// x = append(x, …): the slice's element order IS the
+				// iteration order, a more precise story than "overwrites x"
+				if st.Tok == token.ASSIGN && p.isAppendCall(rhsFor(st, i)) {
+					h = "appends to output in iteration order"
+				}
+				hazard = h
+				return false
+			}
+		case *ast.IncDecStmt:
+			if h := p.accumHazard(rs, st.X); h != "" {
+				hazard = h
+				return false
+			}
+		}
+		return true
+	})
+	return hazard
+}
+
+// assignHazard classifies one assignment target under map iteration.
+func (p *Pass) assignHazard(rs *ast.RangeStmt, lhs ast.Expr, tok token.Token) string {
+	if tok != token.ASSIGN {
+		// compound: += -= *= /= … — commutes for integers, not for floats
+		return p.accumHazard(rs, lhs)
+	}
+	root, viaKey := p.lhsRoot(rs, lhs)
+	if root == nil || !p.declaredOutside(rs, root) {
+		return ""
+	}
+	if viaKey {
+		return "" // out[k] = …: distinct keys, order-independent
+	}
+	return "overwrites " + root.Name + " declared outside the loop (last-writer-wins fold)"
+}
+
+// accumHazard flags compound accumulation into outer state when the element
+// type is floating-point/complex or unknown (conservative).
+func (p *Pass) accumHazard(rs *ast.RangeStmt, lhs ast.Expr) string {
+	root, _ := p.lhsRoot(rs, lhs)
+	if root == nil || !p.declaredOutside(rs, root) {
+		return ""
+	}
+	if tv, ok := p.Info.Types[lhs]; ok && tv.Type != nil {
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&(types.IsFloat|types.IsComplex) == 0 {
+			return "" // integer/bool/string accumulation commutes
+		}
+	}
+	return "accumulates floating-point state into " + root.Name
+}
+
+// lhsRoot unwraps an assignment target to its base identifier. viaKey is
+// true when some index on the way down is exactly the loop's key variable
+// (out[k] = …, c.resid[w][k] = …): distinct iterations then write disjoint
+// locations and the write commutes across iteration orders.
+func (p *Pass) lhsRoot(rs *ast.RangeStmt, e ast.Expr) (root *ast.Ident, viaKey bool) {
+	for {
+		switch t := e.(type) {
+		case *ast.Ident:
+			return t, viaKey
+		case *ast.ParenExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.IndexExpr:
+			viaKey = viaKey || p.isRangeKey(rs, t.Index)
+			e = t.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+func (p *Pass) isRangeKey(rs *ast.RangeStmt, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	ko := p.Info.Defs[key]
+	uo := p.Info.Uses[id]
+	if ko != nil && uo != nil {
+		return ko == uo
+	}
+	return id.Name == key.Name // best-effort without types
+}
+
+// declaredOutside reports whether id's declaration lies outside the range
+// statement (the range key/value variables are declared inside its span).
+// Unresolved identifiers count as outside: the conservative reading of the
+// determinism contract.
+func (p *Pass) declaredOutside(rs *ast.RangeStmt, id *ast.Ident) bool {
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		obj = p.Info.Defs[id]
+	}
+	if obj == nil {
+		return true
+	}
+	return obj.Pos() < rs.Pos() || obj.Pos() > rs.End()
+}
+
+// rhsFor pairs an assignment's i-th target with its value (the single RHS in
+// a tuple assignment like a, b = f()).
+func rhsFor(st *ast.AssignStmt, i int) ast.Expr {
+	if len(st.Rhs) == len(st.Lhs) {
+		return st.Rhs[i]
+	}
+	return st.Rhs[0]
+}
+
+func (p *Pass) isAppendCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "append" && p.isBuiltin(id)
+}
+
+func (p *Pass) isBuiltin(id *ast.Ident) bool {
+	if obj := p.Info.Uses[id]; obj != nil {
+		_, ok := obj.(*types.Builtin)
+		return ok
+	}
+	return true
+}

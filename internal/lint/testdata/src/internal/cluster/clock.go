@@ -1,0 +1,38 @@
+// Package clusterfix exercises the wallclock check inside the metered
+// runtime's scope, and doubles as the nakedgo negative: internal/cluster owns
+// concurrency, so its go statements are legal.
+package clusterfix
+
+import "time"
+
+func readsClock() time.Duration {
+	t0 := time.Now()             // want "time.Now in a deterministic engine path"
+	time.Sleep(time.Millisecond) // want "time.Sleep"
+	return time.Since(t0)        // want "time.Since"
+}
+
+func timers(d time.Duration) {
+	<-time.After(d)     // want "time.After"
+	_ = time.Tick(d)    // want "time.Tick"
+	_ = time.NewTimer(d) // want "time.NewTimer"
+}
+
+// annotatedExport: observability exporters may stamp host time; the
+// annotation records why the exemption is sound.
+func annotatedExport() time.Time {
+	//lint:allow wallclock trace export stamps host time for humans; results never read it
+	return time.Now()
+}
+
+// shadowed: a local identifier named time is not package time.
+func shadowed() int {
+	time := struct{ Now func() int }{Now: func() int { return 7 }}
+	return time.Now()
+}
+
+// ownsConcurrency: go statements are legal in the cluster runtime.
+func ownsConcurrency(fn func()) {
+	done := make(chan struct{})
+	go func() { fn(); close(done) }()
+	<-done
+}

@@ -1,0 +1,27 @@
+// Package gnnfix exercises the globalrand check: training pipelines must
+// draw from an injected seeded *rand.Rand so crash recovery can snapshot and
+// rewind draw positions.
+package gnnfix
+
+import (
+	"math/rand"
+	mrv2 "math/rand/v2"
+)
+
+func globalDraws() float64 {
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle"
+	_ = mrv2.IntN(4)                   // want "global mrv2.IntN"
+	return rand.Float64()              // want "global rand.Float64"
+}
+
+// injected is the contract: constructors stay legal, draws go through the
+// seeded instance.
+func injected(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+func annotated() int {
+	//lint:allow globalrand fixture demonstrating a justified, documented exemption
+	return rand.Int()
+}

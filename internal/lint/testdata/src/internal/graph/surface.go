@@ -1,0 +1,52 @@
+// Package graphfix exercises the panicpolicy check: exported entry points
+// outside the shape-validation kernels return errors (the PR 2 contract).
+package graphfix
+
+import "errors"
+
+type Builder struct{ n int }
+
+// Checked follows the contract: not flagged.
+func Checked(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}
+
+func Unchecked(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in exported Unchecked"
+	}
+	return n
+}
+
+func (b *Builder) Grow(n int) {
+	if n < 0 {
+		panic("negative grow") // want "panic in exported Grow"
+	}
+	b.n += n
+}
+
+// MustGrow documents a programmer-error precondition; the annotation records
+// the justification.
+func MustGrow(b *Builder, n int) {
+	if n < 0 {
+		//lint:allow panicpolicy documented programmer-error precondition (fixture)
+		panic("negative grow")
+	}
+	b.n += n
+}
+
+type helper struct{}
+
+// Explode is exported in name only: methods on unexported receiver types are
+// not package surface. Not flagged.
+func (helper) Explode() { panic("internal contract") }
+
+// internalGuard: unexported helpers own their contract. Not flagged.
+func internalGuard(n int) {
+	if n < 0 {
+		panic("helper contract")
+	}
+}

@@ -1,0 +1,28 @@
+// Package miningfix exercises the nakedgo check: internal/mining is outside
+// the packages that own concurrency, so ad-hoc goroutines bypass the
+// runtime's barrier, panic aggregation and fault injection.
+package miningfix
+
+func fansOut(fn func()) {
+	done := make(chan struct{})
+	go func() { // want "go statement outside the cluster runtime"
+		fn()
+		close(done)
+	}()
+	<-done
+}
+
+func annotatedPool(fns []func()) {
+	done := make(chan struct{}, len(fns))
+	for _, fn := range fns {
+		fn := fn
+		//lint:allow nakedgo fixture: bounded pool, every goroutine joined before return
+		go func() {
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	for range fns {
+		<-done
+	}
+}

@@ -1,0 +1,21 @@
+package pregelfix
+
+// badDirectives exercises the lintdirective diagnostics: a malformed
+// directive suppresses nothing (the underlying report still fires) and is a
+// finding in its own right.
+func badDirectives(m map[int]int, ch chan int) {
+	// want+1 "needs a reason"
+	//lint:deterministic
+	for k := range m { // want "sends on a channel"
+		ch <- k
+	}
+
+	// want+1 "unknown check"
+	//lint:allow nosuchcheck the check name is wrong so this cannot suppress anything
+
+	// want+1 "needs a reason"
+	//lint:allow maprange
+
+	// want+1 "unknown lint directive"
+	//lint:frobnicate reasons are not enough for verbs that do not exist
+}

@@ -1,0 +1,105 @@
+// Package pregelfix exercises the maprange check: internal/pregel is a
+// deterministic engine package, so map iteration whose body reaches
+// observable state must use sorted keys or carry an annotation.
+package pregelfix
+
+type outbox struct{}
+
+func (outbox) Send(to int, m float64) {}
+
+// sendUnderMapOrder emits messages in Go's randomised map order.
+func sendUnderMapOrder(m map[int]float64, ob outbox) {
+	for k, v := range m { // want "calls Send"
+		ob.Send(k, v)
+	}
+}
+
+// appendUnderMapOrder folds the iteration order into an output slice.
+func appendUnderMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appends to output"
+		out = append(out, k)
+	}
+	return out
+}
+
+// lastWriterWins is an order-dependent fold: the final value of best is
+// whichever key the runtime happened to visit last among the longest.
+func lastWriterWins(m map[string]int) string {
+	best := ""
+	for k := range m { // want "overwrites best declared outside the loop"
+		if len(k) >= len(best) {
+			best = k
+		}
+	}
+	return best
+}
+
+// floatAccum does not commute bitwise: float addition order changes the
+// rounding.
+func floatAccum(m map[int]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // want "accumulates floating-point state into sum"
+		sum += v
+	}
+	return sum
+}
+
+// channelSend leaks the iteration order to whoever drains the channel.
+func channelSend(m map[int]int, ch chan int) {
+	for k := range m { // want "sends on a channel"
+		ch <- k
+	}
+}
+
+// intAccum commutes exactly for integers: not flagged.
+func intAccum(m map[int][]int) int {
+	n := 0
+	for _, v := range m {
+		n += len(v)
+	}
+	return n
+}
+
+// keyedWrite touches each key of out exactly once: writes are disjoint, so
+// the order cannot matter. Not flagged.
+func keyedWrite(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// nestedKeyed writes through an outer index too, but the innermost index is
+// the range key: still disjoint. Not flagged.
+func nestedKeyed(ms []map[int]float64, out []map[int]float64) {
+	for w := range ms {
+		for k, v := range ms[w] {
+			out[w][k] = v
+		}
+	}
+}
+
+// prune deletes under iteration, which Go defines regardless of order. Not
+// flagged.
+func prune(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// annotatedArgmax is a max fold under a strict total order: the winner is
+// unique for any iteration order, so the annotation suppresses the report.
+func annotatedArgmax(m map[int]float64) int {
+	best, bestV := -1, 0.0
+	//lint:deterministic argmax under the strict total order (value desc, key asc); the winner is unique for any iteration order
+	for k, v := range m {
+		if v > bestV || (v == bestV && (best == -1 || k < best)) {
+			best, bestV = k, v
+		}
+	}
+	return best
+}

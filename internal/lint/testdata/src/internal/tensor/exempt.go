@@ -1,0 +1,25 @@
+// Package tensorfix is the exemption negative: internal/tensor is exempt
+// from panicpolicy (shape validation panics by design, mirroring the dense
+// kernels) and is listed in GoAllowed (it owns its worker pool). Nothing in
+// this file is flagged.
+package tensorfix
+
+func Reshape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("tensor fixture: negative dimension")
+	}
+}
+
+func runParallel(fns []func()) {
+	done := make(chan struct{}, len(fns))
+	for _, fn := range fns {
+		fn := fn
+		go func() {
+			fn()
+			done <- struct{}{}
+		}()
+	}
+	for range fns {
+		<-done
+	}
+}

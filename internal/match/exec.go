@@ -55,6 +55,7 @@ func Enumerate(g *graph.Graph, plan *Plan, workers int, fn func(mapping []graph.
 			continue
 		}
 		wg.Add(1)
+		//lint:allow nakedgo bounded root-range pool, joined via WaitGroup; per-range match counts are summed after the join
 		go func(lo, hi int) {
 			defer wg.Done()
 			e := &executor{

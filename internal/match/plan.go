@@ -36,6 +36,7 @@ type Plan struct {
 func Automorphisms(p *graph.Graph) [][]graph.V {
 	k := p.NumVertices()
 	if k > 10 {
+		//lint:allow panicpolicy documented size precondition; pattern sizes are fixed small constants at every call site
 		panic("match: automorphism search limited to 10 pattern vertices")
 	}
 	perm := make([]graph.V, k)

@@ -123,6 +123,7 @@ func expandLevel(g *graph.Graph, level []Embedding, workers int) []Embedding {
 			continue
 		}
 		wg.Add(1)
+		//lint:allow nakedgo bounded BFS-expansion pool, joined via WaitGroup below; candidate partitions are disjoint
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			var out []Embedding
@@ -184,6 +185,7 @@ func parallelEach(level []Embedding, workers int, fn func(Embedding)) {
 			continue
 		}
 		wg.Add(1)
+		//lint:allow nakedgo bounded DFS-count pool, joined via WaitGroup below; per-range counters are merged after the join
 		go func(lo, hi int) {
 			defer wg.Done()
 			for _, e := range level[lo:hi] {

@@ -17,6 +17,7 @@ import (
 func CanonicalCode(g *graph.Graph, vs []graph.V) string {
 	k := len(vs)
 	if k > 8 {
+		//lint:allow panicpolicy documented size precondition (k ≤ 8, the Arabesque/Pangolin evaluation range); callers pick k statically
 		panic("mining: CanonicalCode supports at most 8 vertices")
 	}
 	// local adjacency matrix + labels

@@ -18,6 +18,7 @@ func LabelPropagation(g *graph.Graph, rounds int, cfg Config) ([]int32, error) {
 					counts[m]++
 				}
 				best, bestN := *state, 0
+				//lint:deterministic argmax fold under the strict total order (count desc, label asc); the winner is unique for any iteration order
 				for l, c := range counts {
 					if c > bestN || (c == bestN && l < best) {
 						best, bestN = l, c

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"graphsys/internal/cluster"
+	"graphsys/internal/det"
 	"graphsys/internal/graph"
 	"graphsys/internal/obs"
 )
@@ -291,8 +292,7 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 			steps = step
 			break
 		}
-		var mu sync.Mutex
-		aggNext := map[string]float64{}
+		aggLocals := make([]map[string]float64, cfg.Workers)
 		c.Run(func(w int) {
 			ctx := &Context[M]{
 				eng: eng, g: g, worker: w, superstep: step,
@@ -312,16 +312,20 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 				}
 			}
 			// outgoing messages are already staged in the worker's outbox;
-			// Exchange at the barrier meters and delivers them
-			if len(ctx.aggLocal) > 0 {
-				mu.Lock()
-				for k, v := range ctx.aggLocal {
-					aggNext[k] += v
-				}
-				mu.Unlock()
-			}
+			// Exchange at the barrier meters and delivers them. Aggregator
+			// contributions land in the worker's own slot — merging happens
+			// after the barrier, in worker-rank order, so float sums are
+			// bitwise identical run to run (merging under a mutex here would
+			// add in worker-completion order, i.e. scheduling order).
+			aggLocals[w] = ctx.aggLocal
 		})
 		delivered := mb.Exchange()
+		aggNext := map[string]float64{}
+		for _, local := range aggLocals { // ascending worker rank
+			for _, k := range det.SortedKeys(local) {
+				aggNext[k] += local[k]
+			}
+		}
 		eng.mu.Lock()
 		eng.agg = aggNext
 		eng.mu.Unlock()

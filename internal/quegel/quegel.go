@@ -9,6 +9,7 @@ package quegel
 
 import (
 	"graphsys/internal/cluster"
+	"graphsys/internal/det"
 	"graphsys/internal/graph"
 	"graphsys/internal/obs"
 	"graphsys/internal/pregel"
@@ -70,9 +71,11 @@ func AnswerBatched(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer
 		},
 		Compute: func(ctx *pregel.Context[qmsg], v graph.V, state *map[int32]int32, msgs []qmsg) {
 			if ctx.Superstep() == 0 {
-				for qid, d := range *state {
+				// sorted query ids: message emission order must not inherit
+				// Go's randomised map order (graphlint maprange)
+				for _, qid := range det.SortedKeys(*state) {
 					for _, u := range ctx.Graph().Neighbors(v) {
-						ctx.Send(u, qmsg{qid, d + 1})
+						ctx.Send(u, qmsg{qid, (*state)[qid] + 1})
 					}
 				}
 				ctx.VoteToHalt()
@@ -87,9 +90,9 @@ func AnswerBatched(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Answer
 					}
 				}
 			}
-			for qid, d := range improved {
+			for _, qid := range det.SortedKeys(improved) {
 				for _, u := range ctx.Graph().Neighbors(v) {
-					ctx.Send(u, qmsg{qid, d + 1})
+					ctx.Send(u, qmsg{qid, improved[qid] + 1})
 				}
 			}
 			ctx.VoteToHalt()

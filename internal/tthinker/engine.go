@@ -122,6 +122,7 @@ func Run[T, R any](roots []T, process func(ctx *Ctx[T, R], t T), merge func(R, R
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
+		//lint:allow nakedgo task-engine worker pool with work stealing, joined via WaitGroup; stealing needs long-lived per-worker deques cluster.Run does not model
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w) + 1))
