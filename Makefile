@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify bench bench-kernels bench-comms bench-smoke
+.PHONY: build test race vet lint verify bench bench-kernels bench-comms bench-smoke bench-check
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,10 @@ race:
 	$(GO) test -race ./internal/cluster/ ./internal/pregel/ ./internal/gnndist/ ./internal/tensor/ ./internal/gnn/
 
 # The full pre-commit gate: referenced from .claude/skills/verify/SKILL.md.
-verify: vet lint build test race bench-smoke
+# bench-check (which depends on bench-smoke) replaces the old run-and-discard
+# smoke pass: the fresh smoke reports are now GATED against the committed
+# baselines instead of merely generated.
+verify: vet lint build test race bench-check
 	@echo "verify: OK"
 
 bench:
@@ -41,9 +44,17 @@ bench-comms:
 	$(GO) test -bench Send -benchmem -run '^$$' ./internal/cluster/
 	$(GO) run ./cmd/benchcomms -out BENCH_comms.json
 
-# Quick harness-correctness pass of the kernel and comms reports (few
-# iterations; wired into verify so the JSON stays generatable). Writes to
-# scratch paths so it never clobbers the committed full-run reports.
+# Quick pass of the kernel and comms reports (few iterations). Writes to
+# scratch paths (gitignored) so it never clobbers the committed full-run
+# reports; bench-check consumes these.
 bench-smoke:
 	$(GO) run ./cmd/benchkernels -smoke -out BENCH_kernels.smoke.json
 	$(GO) run ./cmd/benchcomms -smoke -out BENCH_comms.smoke.json
+
+# Regression gate: compare the fresh smoke reports against the committed
+# BENCH_*.json baselines via the typed hypotheses in internal/hypo. Fails
+# (non-zero exit) on >20% allocs/op growth, loss of the staged≥3×legacy
+# within-run dominance, diverged accounting, or >50% speedup loss vs the
+# baseline. Artifacts land in hypo_runs/bench-check/.
+bench-check: bench-smoke
+	$(GO) run ./cmd/benchcheck

@@ -1,0 +1,73 @@
+// Command benchcheck is the regression gate behind `make bench-check`: it
+// compares fresh BENCH_*.smoke.json runs against the committed full-run
+// baselines using the typed hypotheses in internal/hypo and exits non-zero
+// when a claim no longer holds. It gates machine-portable metrics only —
+// allocs/op, within-run staged/legacy ratios, speedup-vs-baseline with a
+// wide band — never raw nanoseconds across machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"graphsys/internal/hypo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main minus the exit, so tests can assert exit codes:
+// 0 = all gates pass, 1 = a hypothesis failed, 2 = could not read inputs.
+func run(args []string, stdout, stderr interface {
+	Write([]byte) (int, error)
+}) int {
+	fs := flag.NewFlagSet("benchcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kernels   = fs.String("kernels", "BENCH_kernels.smoke.json", "fresh kernels report (from make bench-smoke)")
+		kernelsBL = fs.String("kernels-baseline", "BENCH_kernels.json", "committed kernels baseline")
+		comms     = fs.String("comms", "BENCH_comms.smoke.json", "fresh comms report (from make bench-smoke)")
+		commsBL   = fs.String("comms-baseline", "BENCH_comms.json", "committed comms baseline")
+		artifacts = fs.String("artifacts", "hypo_runs/bench-check", "per-run artifact folder (results.json + results.csv); empty to skip")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fk, err := hypo.ReadKernelsReport(*kernels)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v (run `make bench-smoke` first)\n", err)
+		return 2
+	}
+	bk, err := hypo.ReadKernelsReport(*kernelsBL)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
+		return 2
+	}
+	fc, err := hypo.ReadCommsReport(*comms)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v (run `make bench-smoke` first)\n", err)
+		return 2
+	}
+	bc, err := hypo.ReadCommsReport(*commsBL)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
+		return 2
+	}
+
+	rep := hypo.Run("bench-check", hypo.BenchGates(fk, bk, fc, bc, hypo.DefaultGateConfig()))
+	rep.Fprint(stdout)
+	if *artifacts != "" {
+		if err := rep.WriteDir(*artifacts); err != nil {
+			fmt.Fprintf(stderr, "benchcheck: writing artifacts: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "artifacts: %s/results.{json,csv}\n", *artifacts)
+	}
+	if !rep.Pass() {
+		return 1
+	}
+	return 0
+}

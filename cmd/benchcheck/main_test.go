@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graphsys/internal/hypo"
+)
+
+func writeJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fixtures(t *testing.T) (dir string, kernels, comms *hypo.KernelsReport, commsRep *hypo.CommsReport) {
+	t.Helper()
+	dir = t.TempDir()
+	k := &hypo.KernelsReport{
+		GeneratedBy: "cmd/benchkernels", GOMAXPROCS: 1,
+		Kernels: []hypo.Kernel{
+			{Name: "matmul_256", SerialAllocsOp: 1, ParallelAllocsOp: 1},
+			{Name: "train_epoch_gcn", SerialAllocsOp: 19, ParallelAllocsOp: 19},
+		},
+	}
+	c := &hypo.CommsReport{
+		GeneratedBy: "cmd/benchcomms", GOMAXPROCS: 1,
+		Rows: []hypo.CommsRow{
+			{Workers: 1, LegacyMsgSec: 20e6, StagedMsgSec: 160e6, Speedup: 8.0},
+			{Workers: 4, LegacyMsgSec: 20e6, StagedMsgSec: 130e6, Speedup: 6.5},
+			{Workers: 8, LegacyMsgSec: 20e6, StagedMsgSec: 120e6, Speedup: 6.0},
+		},
+		Check: map[string]any{"identical": true},
+	}
+	return dir, k, k, c
+}
+
+func runWith(t *testing.T, dir string) (int, string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run([]string{
+		"-kernels", filepath.Join(dir, "k.smoke.json"),
+		"-kernels-baseline", filepath.Join(dir, "k.json"),
+		"-comms", filepath.Join(dir, "c.smoke.json"),
+		"-comms-baseline", filepath.Join(dir, "c.json"),
+		"-artifacts", filepath.Join(dir, "hypo_runs", "bench-check"),
+	}, &out, &errb)
+	return code, out.String() + errb.String()
+}
+
+func TestExitZeroOnHealthyRun(t *testing.T) {
+	dir, fresh, baseline, comms := fixtures(t)
+	writeJSON(t, filepath.Join(dir, "k.smoke.json"), fresh)
+	writeJSON(t, filepath.Join(dir, "k.json"), baseline)
+	writeJSON(t, filepath.Join(dir, "c.smoke.json"), comms)
+	writeJSON(t, filepath.Join(dir, "c.json"), comms)
+	code, out := runWith(t, dir)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "hypo_runs", "bench-check", "results.csv")); err != nil {
+		t.Fatalf("artifact missing: %v", err)
+	}
+}
+
+// TestExitNonZeroOnInjectedRegression is the ISSUE's negative test at the
+// binary level: a scratch baseline with allocs/op >20% below the fresh run's
+// must drive a non-zero exit.
+func TestExitNonZeroOnInjectedRegression(t *testing.T) {
+	dir, fresh, _, comms := fixtures(t)
+	scratch := &hypo.KernelsReport{
+		GeneratedBy: "cmd/benchkernels", GOMAXPROCS: 1,
+		Kernels: []hypo.Kernel{
+			{Name: "matmul_256", SerialAllocsOp: 1, ParallelAllocsOp: 1},
+			{Name: "train_epoch_gcn", SerialAllocsOp: 10, ParallelAllocsOp: 10}, // fresh has 19: a 90% regression
+		},
+	}
+	writeJSON(t, filepath.Join(dir, "k.smoke.json"), fresh)
+	writeJSON(t, filepath.Join(dir, "k.json"), scratch)
+	writeJSON(t, filepath.Join(dir, "c.smoke.json"), comms)
+	writeJSON(t, filepath.Join(dir, "c.json"), comms)
+	code, out := runWith(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on injected regression\n%s", code, out)
+	}
+	if !strings.Contains(out, "kernels-allocs") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("output does not name the failing gate:\n%s", out)
+	}
+}
+
+func TestExitTwoOnMissingInput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	code := run([]string{"-kernels", filepath.Join(dir, "nope.json")}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 on unreadable input", code)
+	}
+	if !strings.Contains(errb.String(), "bench-smoke") {
+		t.Fatalf("stderr should point at make bench-smoke:\n%s", errb.String())
+	}
+}

@@ -26,26 +26,8 @@ import (
 	"testing"
 
 	"graphsys/internal/cluster"
+	"graphsys/internal/hypo"
 )
-
-type commsReport struct {
-	Workers      int     `json:"workers"`
-	MsgsPerRound int     `json:"msgs_per_round"`
-	LegacyNsMsg  int64   `json:"legacy_ns_msg"`
-	StagedNsMsg  int64   `json:"staged_ns_msg"`
-	LegacyMsgSec float64 `json:"legacy_msgs_per_sec"`
-	StagedMsgSec float64 `json:"staged_msgs_per_sec"`
-	Speedup      float64 `json:"speedup"`
-}
-
-type report struct {
-	GeneratedBy string         `json:"generated_by"`
-	GOMAXPROCS  int            `json:"gomaxprocs"`
-	Smoke       bool           `json:"smoke"`
-	Note        string         `json:"note"`
-	Rows        []commsReport  `json:"rows"`
-	Check       map[string]any `json:"accounting_check"`
-}
 
 // workload runs rounds of the all-to-all pattern: each of `workers` sender
 // goroutines sends `per` flat-8-byte messages round-robin across all
@@ -102,7 +84,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	rep := report{
+	// the report schema lives in internal/hypo so cmd/benchcheck gates read
+	// exactly the shape this command writes
+	rep := hypo.CommsReport{
 		GeneratedBy: "cmd/benchcomms",
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Smoke:       *smoke,
@@ -116,7 +100,7 @@ func main() {
 		lr := measure(workers, rounds, per, true)
 		sr := measure(workers, rounds, per, false)
 		perRun := int64(rounds * workers * per)
-		row := commsReport{
+		row := hypo.CommsRow{
 			Workers:      workers,
 			MsgsPerRound: workers * per,
 			LegacyNsMsg:  lr.NsPerOp() / perRun,

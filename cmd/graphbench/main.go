@@ -5,6 +5,9 @@
 //	graphbench                   # list experiments
 //	graphbench fig1 tab1-gpu     # run two experiments
 //	graphbench all               # regenerate every table and claim
+//	graphbench -check all        # run hypotheses instead of printing tables:
+//	                             # the two-run determinism invariant plus each
+//	                             # experiment's typed claims (internal/hypo)
 //	graphbench -trace out.json   # write an observability trace (one Pregel
 //	                             # and one gnndist workload) to out.json
 package main
@@ -13,12 +16,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"graphsys/internal/cluster"
 	"graphsys/internal/experiments"
+	"graphsys/internal/hypo"
 	"graphsys/internal/gnn"
 	"graphsys/internal/gnndist"
 	"graphsys/internal/graph/gen"
@@ -36,6 +41,8 @@ func main() {
 // their defers).
 func run() int {
 	traceOut := flag.String("trace", "", "write a JSON observability trace (traffic matrix, round series, worker skew) for one Pregel and one gnndist workload to this file")
+	check := flag.Bool("check", false, "run each selected experiment's hypotheses (two-run determinism + typed claims) instead of printing tables; non-zero exit on any refuted hypothesis")
+	artifacts := flag.String("artifacts", "hypo_runs/graphbench-check", "with -check: directory for the results.json/results.csv artifacts")
 	par := flag.Int("parallelism", 0, "goroutines for the tensor compute kernels (0 = GOMAXPROCS); results are bitwise identical at any setting")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	mutexProf := flag.String("mutexprofile", "", "write a mutex-contention profile to this file — the messaging path's lock behaviour under load")
@@ -94,6 +101,9 @@ func run() int {
 	} else {
 		ids = args
 	}
+	if *check {
+		return runChecks(ids, *artifacts)
+	}
 	for _, id := range ids {
 		exp, ok := experiments.ByID(id)
 		if !ok {
@@ -107,9 +117,61 @@ func run() int {
 			return 1
 		}
 		table.Fprint(os.Stdout)
-		fmt.Printf("  [%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		// timing goes to stderr: stdout is the deterministic artifact
+		// (results.txt, EXPERIMENTS.md) and wall time is a host property
+		fmt.Fprintf(os.Stderr, "  [%s completed in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 	return 0
+}
+
+// runChecks evaluates each selected experiment's hypothesis set — the
+// generic two-run determinism invariant plus its registered typed claims —
+// and writes one artifact directory per experiment under artifactsDir.
+func runChecks(ids []string, artifactsDir string) int {
+	failed := 0
+	for _, id := range ids {
+		exp, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "graphbench: unknown experiment %q (run with no args to list)\n", id)
+			return 1
+		}
+		hs := []hypo.Hypothesis{experiments.DeterminismHypothesis(exp)}
+		if exp.Claims != nil {
+			hs = append(hs, exp.Claims()...)
+		}
+		rep, err := runHypotheses(exp.ID, hs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphbench: checking %s panicked: %v\n", id, err)
+			return 1
+		}
+		rep.Fprint(os.Stdout)
+		if artifactsDir != "" {
+			if err := rep.WriteDir(filepath.Join(artifactsDir, exp.ID)); err != nil {
+				fmt.Fprintf(os.Stderr, "graphbench: writing artifacts: %v\n", err)
+				return 1
+			}
+		}
+		if !rep.Pass() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "graphbench: %d of %d experiment hypothesis sets FAILED\n", failed, len(ids))
+		return 1
+	}
+	fmt.Printf("graphbench: all %d experiment hypothesis sets pass\n", len(ids))
+	return 0
+}
+
+// runHypotheses converts a panic inside an experiment's claims (e.g. a
+// cross-validation assertion) into an error, like runExperiment does.
+func runHypotheses(name string, hs []hypo.Hypothesis) (rep *hypo.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return hypo.Run(name, hs), nil
 }
 
 // runExperiment runs one experiment, converting a panic inside it (the

@@ -20,7 +20,7 @@ func init() {
 // near the budget and stealing can balance perfectly.
 func AblationTaskSplit() *Table {
 	t := &Table{ID: "abl-split", Title: "Task splitting on maximal cliques (dense ER(150, p=0.5))",
-		Header: []string{"budget", "cliques", "tasks", "splits", "max task (ticks)", "total ticks", "parallelism bound", "time"}}
+		Header: []string{"budget", "cliques", "tasks", "splits", "max task (ticks)", "total ticks", "parallelism bound"}}
 	b := graph.NewBuilder(150, false)
 	r := newDetRand(2)
 	for u := 0; u < 150; u++ {
@@ -32,18 +32,14 @@ func AblationTaskSplit() *Table {
 	}
 	g := b.Build()
 	for _, budget := range []int64{0, 10000, 1000, 100} {
-		var res tthinker.CliqueResult
-		var stats tthinker.Stats
-		d := timeIt(func() {
-			res, stats = tthinker.MaximalCliques(g, false, tthinker.Config{Workers: 8, Budget: budget})
-		})
+		res, stats := tthinker.MaximalCliques(g, false, tthinker.Config{Workers: 8, Budget: budget})
 		name := "off"
 		if budget > 0 {
 			name = itoa(budget)
 		}
 		bound := float64(stats.Ticks) / float64(stats.MaxTaskTicks)
 		t.AddRow(name, res.Count, stats.Tasks, stats.Splits, stats.MaxTaskTicks, stats.Ticks,
-			fmtF(bound)+"x", d)
+			fmtF(bound)+"x")
 	}
 	t.Note("parallelism bound = total work / largest indivisible task; splitting raises it from a handful to the worker count and beyond")
 	return t
@@ -69,11 +65,10 @@ func fmtF(v float64) string {
 // AblationCombiner measures message reduction from Pregel combiners.
 func AblationCombiner() *Table {
 	t := &Table{ID: "abl-combiner", Title: "HashMin CC with and without a min-combiner",
-		Header: []string{"graph", "combiner", "messages", "rounds", "time"}}
+		Header: []string{"graph", "combiner", "messages", "rounds"}}
 	for _, n := range []int{1000, 4000} {
 		g := gen.BarabasiAlbert(n, 6, int64(n))
-		var withRes *pregel.Result[int32]
-		dWith := timeIt(func() { _, withRes = must3(pregel.HashMinCC(g, pregel.Config{Workers: 4})) })
+		_, withRes := must3(pregel.HashMinCC(g, pregel.Config{Workers: 4}))
 		prog := pregel.Program[int32, int32]{
 			Init: func(g *graph.Graph, v graph.V) int32 { return int32(v) },
 			Compute: func(ctx *pregel.Context[int32], v graph.V, state *int32, msgs []int32) {
@@ -95,10 +90,9 @@ func AblationCombiner() *Table {
 				ctx.VoteToHalt()
 			},
 		}
-		var noRes *pregel.Result[int32]
-		dWithout := timeIt(func() { noRes = must2(pregel.Run(g, prog, pregel.Config{Workers: 4})) })
-		t.AddRow(itoa(int64(n)), "yes", withRes.Net.Messages, withRes.Supersteps, dWith)
-		t.AddRow(itoa(int64(n)), "no", noRes.Net.Messages, noRes.Supersteps, dWithout)
+		noRes := must2(pregel.Run(g, prog, pregel.Config{Workers: 4}))
+		t.AddRow(itoa(int64(n)), "yes", withRes.Net.Messages, withRes.Supersteps)
+		t.AddRow(itoa(int64(n)), "no", noRes.Net.Messages, noRes.Supersteps)
 	}
 	t.Note("sender-side combining collapses per-destination messages (Pregel+'s message reduction)")
 	return t
@@ -108,7 +102,7 @@ func AblationCombiner() *Table {
 // on/off, and degeneracy vs natural root ordering.
 func AblationOrdering() *Table {
 	t := &Table{ID: "abl-ordering", Title: "Clique-search design choices (BA(500,12))",
-		Header: []string{"variant", "cliques", "search nodes (ticks)", "max task", "time"}}
+		Header: []string{"variant", "cliques", "search nodes (ticks)", "max task"}}
 	g := gen.BarabasiAlbert(500, 12, 1)
 	type variant struct {
 		name string
@@ -126,10 +120,8 @@ func AblationOrdering() *Table {
 			return tthinker.MaximalCliquesNoPivot(g, false, cfg)
 		}},
 	} {
-		var res tthinker.CliqueResult
-		var stats tthinker.Stats
-		d := timeIt(func() { res, stats = v.run() })
-		t.AddRow(v.name, res.Count, stats.Ticks, stats.MaxTaskTicks, d)
+		res, stats := v.run()
+		t.AddRow(v.name, res.Count, stats.Ticks, stats.MaxTaskTicks)
 	}
 	t.Note("pivoting is the decisive choice (it prunes non-maximal branches); ordering mainly bounds root candidate sets")
 	return t

@@ -4,6 +4,13 @@
 // paper-style artifact and EXPERIMENTS.md can record paper-vs-measured
 // shapes; the root bench_test.go wraps the same workloads in testing.B
 // benchmarks.
+//
+// Every table is DETERMINISTIC: two runs produce byte-identical output
+// (TestExperimentsDeterministic enforces it). Columns therefore report
+// metered work — ticks, messages, candidates, bytes, cost units — never wall
+// time; the metered cost model is the clock, and graphlint's wallclock check
+// covers this package. Quantitative claims about a table are declared as
+// typed hypotheses (hypotheses.go) runnable via `graphbench -check`.
 package experiments
 
 import (
@@ -11,7 +18,8 @@ import (
 	"io"
 	"sort"
 	"strings"
-	"time"
+
+	"graphsys/internal/hypo"
 )
 
 // Table is a rendered experiment result.
@@ -32,8 +40,6 @@ func (t *Table) AddRow(cells ...any) {
 			row[i] = v
 		case float64:
 			row[i] = fmt.Sprintf("%.3f", v)
-		case time.Duration:
-			row[i] = v.Round(time.Microsecond).String()
 		default:
 			row[i] = fmt.Sprint(v)
 		}
@@ -94,17 +100,37 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func() *Table
+	// Claims builds the experiment-specific typed hypotheses (beyond the
+	// generic two-run determinism invariant every experiment gets). Nil when
+	// the table is purely descriptive. Lazy so that registration at init
+	// never runs engine code.
+	Claims func() []hypo.Hypothesis
 }
 
-var registry []Experiment
+var (
+	registry []Experiment
+	// claimsByID is filled by registerClaims (hypotheses.go) and joined to
+	// the registry lazily in All/ByID: init functions run in file-name order,
+	// so claims registration cannot assume the table registration already
+	// happened (hypotheses.go sorts before table1.go).
+	claimsByID = map[string]func() []hypo.Hypothesis{}
+)
 
 func register(id, title string, run func() *Table) {
 	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
 }
 
+// registerClaims attaches typed hypotheses to an experiment by id.
+func registerClaims(id string, claims func() []hypo.Hypothesis) {
+	claimsByID[id] = claims
+}
+
 // All returns every registered experiment, sorted by id.
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
+	for i := range out {
+		out[i].Claims = claimsByID[out[i].ID]
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
@@ -113,6 +139,7 @@ func All() []Experiment {
 func ByID(id string) (Experiment, bool) {
 	for _, e := range registry {
 		if e.ID == id {
+			e.Claims = claimsByID[e.ID]
 			return e, true
 		}
 	}
@@ -137,11 +164,4 @@ func must2[T any](v T, err error) T {
 func must3[A, B any](a A, b B, err error) (A, B) {
 	must(err)
 	return a, b
-}
-
-// timeIt runs fn and returns its duration.
-func timeIt(fn func()) time.Duration {
-	start := time.Now()
-	fn()
-	return time.Since(start)
 }

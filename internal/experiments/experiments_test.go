@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"graphsys/internal/hypo"
 )
 
 // slow experiments are skipped under -short.
@@ -39,6 +41,52 @@ func TestAllExperimentsProduceTables(t *testing.T) {
 			out := sb.String()
 			if !strings.Contains(out, e.ID) {
 				t.Fatal("rendered output missing experiment id")
+			}
+		})
+	}
+}
+
+// TestExperimentsDeterministic is the package's core contract (DESIGN.md
+// §3.10): every experiment's rendered table is byte-identical across runs.
+// A diff means wall-clock leakage, map-iteration ordering, or
+// scheduling-dependent accounting crept into a column — always a bug, never
+// noise. The same invariant ships as a Type-1 hypothesis
+// (DeterminismHypothesis) so `graphbench -check` enforces it outside tests.
+func TestExperimentsDeterministic(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			if testing.Short() && slow[e.ID] {
+				t.Skip("slow experiment skipped in -short mode")
+			}
+			o := DeterminismHypothesis(e).Check()
+			if len(o) != 1 {
+				t.Fatalf("expected 1 finding, got %d", len(o))
+			}
+			if !o[0].Pass {
+				t.Fatalf("experiment %s is nondeterministic: %s", e.ID, o[0].Got)
+			}
+		})
+	}
+}
+
+// TestExperimentClaims runs every registered experiment-specific hypothesis
+// set; a red claim means a table's stated conclusion no longer holds.
+func TestExperimentClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("claims re-run experiment workloads; skipped in -short mode")
+	}
+	for _, e := range All() {
+		if e.Claims == nil {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := hypo.Run(e.ID, e.Claims())
+			if !rep.Pass() {
+				var sb strings.Builder
+				rep.Fprint(&sb)
+				t.Fatalf("claims failed:\n%s", sb.String())
 			}
 		})
 	}

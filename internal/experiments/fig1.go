@@ -13,66 +13,53 @@ func init() {
 }
 
 // Fig1Pipeline runs one representative workload down each of the paper's
-// four pipeline paths on the same community graph and reports runtime and
-// the produced artifact — demonstrating that the library composes into the
-// complete Figure-1 pipeline.
+// four pipeline paths on the same community graph and reports the produced
+// artifact — demonstrating that the library composes into the complete
+// Figure-1 pipeline. (Per-path runtimes are host properties and live in the
+// root benchmarks; this table is the deterministic composition evidence.)
 func Fig1Pipeline() *Table {
 	t := &Table{ID: "fig1", Title: "Pipeline paths on a 400-vertex community graph",
-		Header: []string{"path", "stage(s)", "output", "runtime"}}
+		Header: []string{"path", "stage(s)", "output"}}
 	task := gnn.SyntheticCommunityTask(400, 4, 2, 0.3, 42)
 	p := core.NewPipeline(task.G, 4)
 
 	// Path 1: vertex analytics → per-vertex score
-	var ranks []float64
-	d1 := timeIt(func() { ranks = p.PageRank(20) })
+	ranks := p.PageRank(20)
 	best := 0
 	for v := range ranks {
 		if ranks[v] > ranks[best] {
 			best = v
 		}
 	}
-	t.AddRow("1 vertex analytics", "PageRank(20)", fmt.Sprintf("%d scores, top=v%d", len(ranks), best), d1)
+	t.AddRow("1 vertex analytics", "PageRank(20)", fmt.Sprintf("%d scores, top=v%d", len(ranks), best))
 
 	// Path 2: vertex analytics + ML → embeddings → node classifier
-	var acc2 float64
-	d2 := timeIt(func() {
-		emb := p.DeepWalkEmbeddings(16, 7)
-		clf := p.TrainNodeClassifier(emb, task.Labels, task.TrainMask, 1)
-		acc2 = clf.Accuracy(emb, task.Labels, task.TestMask)
-	})
-	t.AddRow("2 vertex analytics+ML", "DeepWalk→LogReg", fmt.Sprintf("node acc %.3f", acc2), d2)
+	emb := p.DeepWalkEmbeddings(16, 7)
+	clf := p.TrainNodeClassifier(emb, task.Labels, task.TrainMask, 1)
+	acc2 := clf.Accuracy(emb, task.Labels, task.TestMask)
+	t.AddRow("2 vertex analytics+ML", "DeepWalk→LogReg", fmt.Sprintf("node acc %.3f", acc2))
 
-	var accGNN float64
-	d2b := timeIt(func() { accGNN = p.TrainGNN(task, gnn.GCN, 16, 40, 3) })
-	t.AddRow("2 vertex analytics+ML", "GCN full-graph", fmt.Sprintf("node acc %.3f", accGNN), d2b)
+	accGNN := p.TrainGNN(task, gnn.GCN, 16, 40, 3)
+	t.AddRow("2 vertex analytics+ML", "GCN full-graph", fmt.Sprintf("node acc %.3f", accGNN))
 
 	// Path 3: structure analytics → subgraph structures
-	var cliques int64
-	var truss int
-	d3 := timeIt(func() {
-		res := p.MaximalCliques(false)
-		cliques = res.Count
-		truss = len(p.KTrussCommunity(4))
-	})
+	res := p.MaximalCliques(false)
+	truss := len(p.KTrussCommunity(4))
 	t.AddRow("3 structure analytics", "maximal cliques + 4-truss",
-		fmt.Sprintf("%d cliques, %d truss vertices", cliques, truss), d3)
+		fmt.Sprintf("%d cliques, %d truss vertices", res.Count, truss))
 
-	var motifKinds int
-	d3b := timeIt(func() { motifKinds = len(p.MotifCounts(4)) })
-	t.AddRow("3 structure analytics", "size-4 motif census", fmt.Sprintf("%d motif classes", motifKinds), d3b)
+	motifKinds := len(p.MotifCounts(4))
+	t.AddRow("3 structure analytics", "size-4 motif census", fmt.Sprintf("%d motif classes", motifKinds))
 
 	// Path 4: structure analytics + ML → pattern features → graph classifier
-	var acc4 float64
-	d4 := timeIt(func() {
-		db := gen.MoleculeDB(60, 8, 3, 0.95, 11)
-		trainMask := make([]bool, db.Len())
-		for i := range trainMask {
-			trainMask[i] = i%3 != 0
-		}
-		acc4 = core.GraphClassification(db, trainMask, 8, 3, 4, 2)
-	})
+	db := gen.MoleculeDB(60, 8, 3, 0.95, 11)
+	trainMask := make([]bool, db.Len())
+	for i := range trainMask {
+		trainMask[i] = i%3 != 0
+	}
+	acc4 := core.GraphClassification(db, trainMask, 8, 3, 4, 2)
 	t.AddRow("4 structure analytics+ML", "FSM→pattern features→LogReg",
-		fmt.Sprintf("graph acc %.3f", acc4), d4)
+		fmt.Sprintf("graph acc %.3f", acc4))
 
 	t.Note("all four paths of the paper's Figure 1 run against the same library")
 	return t

@@ -68,7 +68,7 @@ func ObsHeteroMatrix() *Table {
 		t.Note("cross-host links carry %.1f× the weighted cost of intra-host links (%.0f%% of total cost)",
 			crossCost/intraCost, 100*crossCost/(crossCost+intraCost))
 	}
-	t.Note("trace: %d rounds, p50/p99 round bytes %d/%d, busy imbalance %.2f",
-		len(tr.RoundSeries), tr.Skew.P50RoundBytes, tr.Skew.P99RoundBytes, tr.Skew.BusyImbalance)
+	t.Note("trace: %d rounds, p50/p99 round bytes %d/%d",
+		len(tr.RoundSeries), tr.Skew.P50RoundBytes, tr.Skew.P99RoundBytes)
 	return t
 }

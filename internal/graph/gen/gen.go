@@ -59,15 +59,26 @@ func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
 		}
 	}
 	for v := k + 1; v < n; v++ {
-		chosen := make(map[graph.V]bool, k)
+		// chosen keeps DRAW order: iterating a map here would append to
+		// targets in process-random order and derail every later draw,
+		// making the "seeded" generator emit a different graph per run
+		chosen := make([]graph.V, 0, k)
+		has := func(t graph.V) bool {
+			for _, c := range chosen {
+				if c == t {
+					return true
+				}
+			}
+			return false
+		}
 		for len(chosen) < k {
 			t := targets[rng.Intn(len(targets))]
-			if t == graph.V(v) || chosen[t] {
+			if t == graph.V(v) || has(t) {
 				continue
 			}
-			chosen[t] = true
+			chosen = append(chosen, t)
 		}
-		for t := range chosen {
+		for _, t := range chosen {
 			b.AddEdge(graph.V(v), t)
 			targets = append(targets, graph.V(v), t)
 		}

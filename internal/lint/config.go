@@ -60,6 +60,9 @@ func Default() *Config {
 			"internal/cluster", "internal/pregel", "internal/blogel",
 			"internal/quegel", "internal/gnndist", "internal/gnn",
 			"internal/tensor", "internal/gthinkerq", "internal/tthinker",
+			// experiment tables are committed artifacts (EXPERIMENTS.md) and
+			// must be byte-identical run to run — wall time is banned outright
+			"internal/experiments",
 		},
 		WallclockAllowFiles: []string{"_bench", "bench_"},
 		WallclockDenied: []string{
