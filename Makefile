@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify bench bench-kernels bench-comms bench-smoke bench-check
+.PHONY: build test race vet lint verify bench bench-kernels bench-comms bench-serving bench-smoke bench-check
 
 build:
 	$(GO) build ./...
@@ -18,9 +18,10 @@ test:
 
 # Race-enabled subset: the packages with real concurrency (the cluster
 # runtime and the engines that drive it, including the fault-injection /
-# crash-recovery paths, and the parallel tensor/aggregation kernels).
+# crash-recovery paths, the parallel tensor/aggregation kernels, and the
+# serving tier's worker pools and batchers).
 race:
-	$(GO) test -race ./internal/cluster/ ./internal/pregel/ ./internal/gnndist/ ./internal/tensor/ ./internal/gnn/
+	$(GO) test -race ./internal/cluster/ ./internal/pregel/ ./internal/gnndist/ ./internal/tensor/ ./internal/gnn/ ./internal/serve/ ./internal/gthinkerq/ ./internal/quegel/
 
 # The full pre-commit gate: referenced from .claude/skills/verify/SKILL.md.
 # bench-check (which depends on bench-smoke) replaces the old run-and-discard
@@ -44,17 +45,28 @@ bench-comms:
 	$(GO) test -bench Send -benchmem -run '^$$' ./internal/cluster/
 	$(GO) run ./cmd/benchcomms -out BENCH_comms.json
 
-# Quick pass of the kernel and comms reports (few iterations). Writes to
-# scratch paths (gitignored) so it never clobbers the committed full-run
+# Serving-tier benchmark: p50/p99 latency and goodput vs offered load per
+# scheduling policy, through saturation, on the deterministic logical-time
+# simulator. The output is machine-independent; bench-check gates it against
+# the committed baseline for EXACT equality.
+bench-serving:
+	$(GO) run ./cmd/benchserving -out BENCH_serving.json
+
+# Quick pass of the kernel, comms and serving reports (few iterations; the
+# serving sweep is deterministic so its smoke run IS the full sweep). Writes
+# to scratch paths (gitignored) so it never clobbers the committed full-run
 # reports; bench-check consumes these.
 bench-smoke:
 	$(GO) run ./cmd/benchkernels -smoke -out BENCH_kernels.smoke.json
 	$(GO) run ./cmd/benchcomms -smoke -out BENCH_comms.smoke.json
+	$(GO) run ./cmd/benchserving -smoke -out BENCH_serving.smoke.json
 
 # Regression gate: compare the fresh smoke reports against the committed
 # BENCH_*.json baselines via the typed hypotheses in internal/hypo. Fails
 # (non-zero exit) on >20% allocs/op growth, loss of the staged≥3×legacy
-# within-run dominance, diverged accounting, or >50% speedup loss vs the
-# baseline. Artifacts land in hypo_runs/bench-check/.
+# within-run dominance, diverged accounting, >50% speedup loss vs the
+# baseline, or ANY serving-sweep cell drifting from the committed
+# BENCH_serving.json (deterministic simulation ⇒ exact equality).
+# Artifacts land in hypo_runs/bench-check/.
 bench-check: bench-smoke
 	$(GO) run ./cmd/benchcheck

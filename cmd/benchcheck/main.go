@@ -3,7 +3,9 @@
 // baselines using the typed hypotheses in internal/hypo and exits non-zero
 // when a claim no longer holds. It gates machine-portable metrics only —
 // allocs/op, within-run staged/legacy ratios, speedup-vs-baseline with a
-// wide band — never raw nanoseconds across machines.
+// wide band — never raw nanoseconds across machines. The serving-tier gates
+// go further: BENCH_serving.json comes from a deterministic logical-time
+// simulation, so its cells are compared against the baseline EXACTLY.
 package main
 
 import (
@@ -30,6 +32,8 @@ func run(args []string, stdout, stderr interface {
 		kernelsBL = fs.String("kernels-baseline", "BENCH_kernels.json", "committed kernels baseline")
 		comms     = fs.String("comms", "BENCH_comms.smoke.json", "fresh comms report (from make bench-smoke)")
 		commsBL   = fs.String("comms-baseline", "BENCH_comms.json", "committed comms baseline")
+		serving   = fs.String("serving", "BENCH_serving.smoke.json", "fresh serving report (from make bench-smoke)")
+		servingBL = fs.String("serving-baseline", "BENCH_serving.json", "committed serving baseline")
 		artifacts = fs.String("artifacts", "hypo_runs/bench-check", "per-run artifact folder (results.json + results.csv); empty to skip")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -56,8 +60,21 @@ func run(args []string, stdout, stderr interface {
 		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
 		return 2
 	}
+	fsv, err := hypo.ReadServingReport(*serving)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v (run `make bench-smoke` first)\n", err)
+		return 2
+	}
+	bsv, err := hypo.ReadServingReport(*servingBL)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
+		return 2
+	}
 
-	rep := hypo.Run("bench-check", hypo.BenchGates(fk, bk, fc, bc, hypo.DefaultGateConfig()))
+	cfg := hypo.DefaultGateConfig()
+	gates := hypo.BenchGates(fk, bk, fc, bc, cfg)
+	gates = append(gates, hypo.ServingGates(fsv, bsv, cfg)...)
+	rep := hypo.Run("bench-check", gates)
 	rep.Fprint(stdout)
 	if *artifacts != "" {
 		if err := rep.WriteDir(*artifacts); err != nil {

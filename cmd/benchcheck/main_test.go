@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"graphsys/internal/hypo"
+	"graphsys/internal/serve"
 )
 
 func writeJSON(t *testing.T, path string, v any) {
@@ -43,6 +44,24 @@ func fixtures(t *testing.T) (dir string, kernels, comms *hypo.KernelsReport, com
 	return dir, k, k, c
 }
 
+// servingFixture materialises the real default sweep (it is deterministic and
+// fast), since the serving gates re-simulate from the embedded params.
+func servingFixture(t *testing.T) *hypo.ServingReport {
+	t.Helper()
+	params := hypo.DefaultServingParams()
+	rep := &hypo.ServingReport{GeneratedBy: "cmd/benchserving", Params: params}
+	for _, pol := range serve.Policies {
+		for _, lambda := range params.Lambdas {
+			pt, err := hypo.MeasureServingPoint(params, pol, lambda, params.Seed)
+			if err != nil {
+				t.Fatalf("measure %s@%.2f: %v", pol, lambda, err)
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	return rep
+}
+
 func runWith(t *testing.T, dir string) (int, string) {
 	t.Helper()
 	var out, errb strings.Builder
@@ -51,6 +70,8 @@ func runWith(t *testing.T, dir string) (int, string) {
 		"-kernels-baseline", filepath.Join(dir, "k.json"),
 		"-comms", filepath.Join(dir, "c.smoke.json"),
 		"-comms-baseline", filepath.Join(dir, "c.json"),
+		"-serving", filepath.Join(dir, "s.smoke.json"),
+		"-serving-baseline", filepath.Join(dir, "s.json"),
 		"-artifacts", filepath.Join(dir, "hypo_runs", "bench-check"),
 	}, &out, &errb)
 	return code, out.String() + errb.String()
@@ -58,10 +79,13 @@ func runWith(t *testing.T, dir string) (int, string) {
 
 func TestExitZeroOnHealthyRun(t *testing.T) {
 	dir, fresh, baseline, comms := fixtures(t)
+	serving := servingFixture(t)
 	writeJSON(t, filepath.Join(dir, "k.smoke.json"), fresh)
 	writeJSON(t, filepath.Join(dir, "k.json"), baseline)
 	writeJSON(t, filepath.Join(dir, "c.smoke.json"), comms)
 	writeJSON(t, filepath.Join(dir, "c.json"), comms)
+	writeJSON(t, filepath.Join(dir, "s.smoke.json"), serving)
+	writeJSON(t, filepath.Join(dir, "s.json"), serving)
 	code, out := runWith(t, dir)
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0\n%s", code, out)
@@ -87,12 +111,38 @@ func TestExitNonZeroOnInjectedRegression(t *testing.T) {
 	writeJSON(t, filepath.Join(dir, "k.json"), scratch)
 	writeJSON(t, filepath.Join(dir, "c.smoke.json"), comms)
 	writeJSON(t, filepath.Join(dir, "c.json"), comms)
+	serving := servingFixture(t)
+	writeJSON(t, filepath.Join(dir, "s.smoke.json"), serving)
+	writeJSON(t, filepath.Join(dir, "s.json"), serving)
 	code, out := runWith(t, dir)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 on injected regression\n%s", code, out)
 	}
 	if !strings.Contains(out, "kernels-allocs") || !strings.Contains(out, "FAIL") {
 		t.Fatalf("output does not name the failing gate:\n%s", out)
+	}
+}
+
+// TestExitNonZeroOnServingLatencyRegression injects a fake p99 latency
+// regression into the fresh serving report: the exact-equality serving gates
+// must drive a non-zero exit and name the failing gate.
+func TestExitNonZeroOnServingLatencyRegression(t *testing.T) {
+	dir, fresh, baseline, comms := fixtures(t)
+	writeJSON(t, filepath.Join(dir, "k.smoke.json"), fresh)
+	writeJSON(t, filepath.Join(dir, "k.json"), baseline)
+	writeJSON(t, filepath.Join(dir, "c.smoke.json"), comms)
+	writeJSON(t, filepath.Join(dir, "c.json"), comms)
+	good := servingFixture(t)
+	writeJSON(t, filepath.Join(dir, "s.json"), good)
+	bad := servingFixture(t)
+	bad.Points[5].P99 *= 3 // a fake scheduler latency regression
+	writeJSON(t, filepath.Join(dir, "s.smoke.json"), bad)
+	code, out := runWith(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on injected serving regression\n%s", code, out)
+	}
+	if !strings.Contains(out, "serving-baseline-exact") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("output does not name the failing serving gate:\n%s", out)
 	}
 }
 

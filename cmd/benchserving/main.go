@@ -1,0 +1,99 @@
+// Command benchserving sweeps the serving tier's scheduling policies across
+// offered load and writes BENCH_serving.json: p50/p99 latency and goodput vs
+// offered load, from well below to beyond saturation, for every policy
+// (round-robin, FIFO, shortest-remaining-work, weighted fair share).
+//
+// Unlike benchkernels/benchcomms the sweep runs on the deterministic
+// logical-time simulator (serve.Simulate) over seeded open-loop Poisson
+// arrivals: the numbers are a pure function of the parameters — identical on
+// every machine — so the bench-check gate compares the smoke run against the
+// committed baseline EXACTLY, and the smoke and full runs measure the same
+// sweep (the distinction is bookkeeping, not fidelity).
+//
+//	go run ./cmd/benchserving -out BENCH_serving.json        # full run
+//	go run ./cmd/benchserving -smoke -out BENCH_serving.smoke.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"graphsys/internal/hypo"
+	"graphsys/internal/serve"
+)
+
+func main() {
+	out := flag.String("out", "BENCH_serving.json", "output path")
+	smoke := flag.Bool("smoke", false, "mark the report as a smoke run (same deterministic sweep)")
+	flag.Parse()
+
+	params := hypo.DefaultServingParams()
+	rep := hypo.ServingReport{
+		GeneratedBy: "cmd/benchserving",
+		Smoke:       *smoke,
+		Note: "open-loop Poisson arrivals with a bimodal light/heavy cost mix through the " +
+			"deterministic serving simulator: one tick retires Workers work units split " +
+			"across in-flight queries by the policy; admission control sheds beyond " +
+			"queue_limit, deadline_ticks bounds per-query latency. Latencies are logical " +
+			"ticks, goodput is completions per 1000 ticks — machine-independent by " +
+			"construction, gated for exact equality by cmd/benchcheck.",
+		Params: params,
+	}
+
+	for _, pol := range serve.Policies {
+		for _, lambda := range params.Lambdas {
+			pt, err := hypo.MeasureServingPoint(params, pol, lambda, params.Seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchserving: %s at lambda=%.2f: %v\n", pol, lambda, err)
+				os.Exit(1)
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+
+	// embedded self-check: re-running any cell must reproduce it exactly;
+	// a divergence means the simulator lost determinism — fail loudly here,
+	// before the report is ever compared against a baseline
+	for _, pt := range rep.Points {
+		pol, err := serve.ParsePolicy(pt.Policy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchserving: %v\n", err)
+			os.Exit(1)
+		}
+		again, err := hypo.MeasureServingPoint(params, pol, pt.Lambda, params.Seed)
+		if err != nil || again != pt {
+			fmt.Fprintf(os.Stderr, "benchserving: self-check diverged for %s@%.2f: %+v vs %+v (%v)\n",
+				pt.Policy, pt.Lambda, again, pt, err)
+			os.Exit(1)
+		}
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchserving: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchserving: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchserving: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, pol := range serve.Policies {
+		fmt.Printf("%-12s", pol.String())
+		for _, lambda := range params.Lambdas {
+			if pt, ok := rep.Point(pol.String(), lambda); ok {
+				fmt.Printf("  λ=%.1f p50=%3d p99=%4d good=%5.1f", lambda, pt.P50, pt.P99, pt.Goodput)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("wrote %s (%d points, seed %d)\n", *out, len(rep.Points), params.Seed)
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"graphsys/internal/hypo"
+	"graphsys/internal/serve"
+)
+
+func init() {
+	register("serve-sweep", "§3.11 serving tier: latency and goodput vs offered load per scheduling policy", ServeSweep)
+}
+
+// ServeSweep is the serving-tier saturation sweep as a paper-style table: the
+// same deterministic logical-time simulation cmd/benchserving writes to
+// BENCH_serving.json, rendered per (policy, offered-load) cell. Open-loop
+// Poisson arrivals with a bimodal light/heavy cost mix meet a fixed-capacity
+// server under admission control and a per-query deadline; latencies are
+// logical ticks and goodput is completions per kilotick, so every cell is a
+// pure function of the parameters and the two-run determinism invariant
+// covers the whole serving stack (policy allocators, shedding, expiry).
+func ServeSweep() *Table {
+	p := hypo.DefaultServingParams()
+	t := &Table{ID: "serve-sweep",
+		Title: fmt.Sprintf("serving saturation sweep (workers=%d queue=%d deadline=%d ticks, %d queries/point, seed %d)",
+			p.Workers, p.QueueLimit, p.DeadlineTicks, p.Queries, p.Seed),
+		Header: []string{"policy", "λ offered", "completed", "rejected", "expired", "p50 ticks", "p99 ticks", "goodput/ktick"}}
+	for _, pol := range serve.Policies {
+		for _, lambda := range p.Lambdas {
+			pt := must2(hypo.MeasureServingPoint(p, pol, lambda, p.Seed))
+			t.AddRow(pt.Policy, fmt.Sprintf("%.2f", lambda),
+				pt.Completed, pt.Rejected, pt.Expired, pt.P50, pt.P99, pt.Goodput)
+		}
+	}
+	t.Note("capacity is %d work units/tick against a mean query cost ≈ %.1f units, so saturation sits near λ ≈ %.2f; the last two loads are past it",
+		p.Workers, meanCost(p), float64(p.Workers)/meanCost(p))
+	t.Note("shortest-remaining-work keeps the light tail flowing under overload (p50 stays at 1 tick) where FIFO queues it behind heavy queries")
+	t.Note("the same cells ship as BENCH_serving.json; cmd/benchcheck gates them against the committed baseline for EXACT equality")
+	return t
+}
+
+// meanCost is the expectation of the sweep's bimodal size mix.
+func meanCost(p hypo.ServingParams) float64 {
+	light := float64(p.LightMin+p.LightMax) / 2
+	heavy := float64(p.HeavyMin+p.HeavyMax) / 2
+	return (1-p.PHeavy)*light + p.PHeavy*heavy
+}

@@ -1,0 +1,141 @@
+package gthinkerq
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/match"
+	"graphsys/internal/serve"
+)
+
+func TestEngineCountsMatchOfflineAcrossPolicies(t *testing.T) {
+	g := gen.ErdosRenyi(80, 600, 1)
+	wantEdge, _ := match.Count(g, match.OptimizedPlan(edge), 4)
+	wantTri, _ := match.Count(g, match.OptimizedPlan(triangle), 4)
+	for _, pol := range serve.Policies {
+		t.Run(pol.String(), func(t *testing.T) {
+			eng, err := NewEngine(g, serve.Options{Workers: 4, Policy: pol})
+			if err != nil {
+				t.Fatalf("NewEngine: %v", err)
+			}
+			defer eng.Close()
+			var tks []*serve.Ticket[int64]
+			for i := 0; i < 8; i++ {
+				p, cost := edge, int64(1)
+				if i%2 == 0 {
+					p, cost = triangle, 10
+				}
+				tk, err := eng.Submit(serve.Request[*graph.Graph]{Query: p, Cost: cost, Weight: 1 + i%2})
+				if err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+				tks = append(tks, tk)
+			}
+			for i, tk := range tks {
+				got, err := tk.Wait()
+				want := wantEdge
+				if i%2 == 0 {
+					want = wantTri
+				}
+				if err != nil || got != want {
+					t.Fatalf("query %d: got (%d, %v), want (%d, nil)", i, got, err, want)
+				}
+			}
+			if m := eng.Metrics(); m.Completed != 8 {
+				t.Fatalf("metrics: %+v", m)
+			}
+		})
+	}
+}
+
+func TestEngineTypedErrors(t *testing.T) {
+	if _, err := NewEngine(nil, serve.Options{}); !errors.Is(err, serve.ErrInvalidRequest) {
+		t.Fatalf("nil graph: %v", err)
+	}
+	g := gen.Grid(4, 4)
+	eng, err := NewEngine(g, serve.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if _, err := eng.Submit(serve.Request[*graph.Graph]{}); !errors.Is(err, serve.ErrInvalidRequest) {
+		t.Fatalf("nil pattern: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := eng.Submit(serve.Request[*graph.Graph]{Query: triangle}); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+func TestEngineDeadlineExpiresHeavyQuery(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 12, 7)
+	lc := serve.NewLogicalClock(time.Unix(0, 0))
+	eng, err := NewEngine(g, serve.Options{Workers: 2, Clock: lc.Clock()})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+	tk, err := eng.Submit(serve.Request[*graph.Graph]{Query: gen.Clique(5), Deadline: time.Millisecond})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	lc.Advance(time.Second) // logical deadline passes while matching runs
+	got, werr := tk.Wait()
+	if !errors.Is(werr, serve.ErrDeadlineExceeded) {
+		t.Fatalf("wait: (%d, %v), want ErrDeadlineExceeded", got, werr)
+	}
+	if got < 0 {
+		t.Fatalf("negative partial count %d", got)
+	}
+	// the engine keeps serving after an expiry
+	n, werr := eng.Submit(serve.Request[*graph.Graph]{Query: edge})
+	if werr != nil {
+		t.Fatalf("submit after expiry: %v", werr)
+	}
+	if c, werr := n.Wait(); werr != nil || c == 0 {
+		t.Fatalf("edge query after expiry: (%d, %v)", c, werr)
+	}
+}
+
+func TestEngineAdmissionControlSheds(t *testing.T) {
+	g := gen.BarabasiAlbert(2000, 12, 7)
+	lc := serve.NewLogicalClock(time.Unix(0, 0))
+	eng, err := NewEngine(g, serve.Options{Workers: 1, QueueLimit: 2, Clock: lc.Clock()})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+	// two heavy queries fill the bounded queue; the burst beyond it sheds
+	var admitted []*serve.Ticket[int64]
+	shed := 0
+	for i := 0; i < 6; i++ {
+		tk, err := eng.Submit(serve.Request[*graph.Graph]{Query: gen.Clique(5)})
+		switch {
+		case err == nil:
+			admitted = append(admitted, tk)
+		case errors.Is(err, serve.ErrQueueFull):
+			shed++
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if len(admitted)+shed != 6 {
+		t.Fatalf("submissions unaccounted for: admitted %d shed %d", len(admitted), shed)
+	}
+	if shed == 0 {
+		t.Fatal("no submission was shed")
+	}
+	if m := eng.Metrics(); m.Rejected != int64(shed) || m.Admitted != int64(len(admitted)) {
+		t.Fatalf("metrics: %+v (admitted %d shed %d)", m, len(admitted), shed)
+	}
+	for _, tk := range admitted {
+		tk.Cancel()
+		if _, err := tk.Wait(); err != nil && !errors.Is(err, serve.ErrCanceled) {
+			t.Fatalf("wait: %v", err)
+		}
+	}
+}

@@ -141,16 +141,21 @@ type GateConfig struct {
 	// MaxEpochAllocs is the absolute bound on the GCN training epoch
 	// (default 25 allocs/op; PR 3 measured 19, the growth seed had 146).
 	MaxEpochAllocs int64
+	// MinServingEffect is the serving-tier dominance threshold: beyond
+	// saturation, shortest-remaining-work must sustain this multiple of
+	// FIFO's goodput in every seeded sample (default 1.2).
+	MinServingEffect float64
 }
 
 // DefaultGateConfig returns the standard tolerance bands.
 func DefaultGateConfig() GateConfig {
 	return GateConfig{
-		AllocBand:      0.20,
-		AllocSlack:     2,
-		MinCommsEffect: 3.0,
-		SpeedupBand:    0.5,
-		MaxEpochAllocs: 25,
+		AllocBand:        0.20,
+		AllocSlack:       2,
+		MinCommsEffect:   3.0,
+		SpeedupBand:      0.5,
+		MaxEpochAllocs:   25,
+		MinServingEffect: 1.2,
 	}
 }
 

@@ -1,0 +1,269 @@
+package hypo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphsys/internal/serve"
+)
+
+// This file owns the BENCH_serving.json schema (written by cmd/benchserving,
+// re-read by cmd/benchcheck) and the serving-tier gates. Unlike the kernel
+// and comms benches, the serving sweep runs on the deterministic logical-time
+// simulator (serve.Simulate): its numbers are a pure function of the params,
+// identical on every machine, so the gate demands EXACT equality between the
+// fresh run and the committed baseline — any drift is a behaviour change in
+// the scheduler, the load generator, or the simulator, never noise.
+
+// ServingParams pins the sweep's workload. The benchmark writer and the
+// regression gate both measure through MeasureServingPoint, so a drifting
+// parameter cannot silently decouple them.
+type ServingParams struct {
+	Seed          int64     `json:"seed"`
+	Queries       int       `json:"queries"`        // arrivals per sweep point
+	Workers       int       `json:"workers"`        // capacity: work units per tick
+	QueueLimit    int       `json:"queue_limit"`    // admission bound (0 = unbounded)
+	DeadlineTicks int64     `json:"deadline_ticks"` // per-query SLO (0 = none)
+	Lambdas       []float64 `json:"lambdas"`        // offered loads, arrivals/tick
+	LightMin      int64     `json:"light_min"`      // bimodal size mix: light range,
+	LightMax      int64     `json:"light_max"`      // heavy range, heavy probability
+	HeavyMin      int64     `json:"heavy_min"`
+	HeavyMax      int64     `json:"heavy_max"`
+	PHeavy        float64   `json:"p_heavy"`
+}
+
+// DefaultServingParams is the committed sweep: a mostly-light bimodal mix
+// (mean cost ≈ 5.4 units) against 4 units/tick of capacity, so saturation
+// sits near λ ≈ 0.74 and the last two lambdas are past it.
+func DefaultServingParams() ServingParams {
+	return ServingParams{
+		Seed:          42,
+		Queries:       2000,
+		Workers:       4,
+		QueueLimit:    32,
+		DeadlineTicks: 500,
+		Lambdas:       []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.6},
+		LightMin:      1, LightMax: 4,
+		HeavyMin: 40, HeavyMax: 80,
+		PHeavy: 0.05,
+	}
+}
+
+func (p ServingParams) sizer() serve.Sizer {
+	return serve.Bimodal{
+		Light:  serve.Uniform{Min: p.LightMin, Max: p.LightMax},
+		Heavy:  serve.Uniform{Min: p.HeavyMin, Max: p.HeavyMax},
+		PHeavy: p.PHeavy,
+	}
+}
+
+// OverloadLambda is the sweep's highest offered load — the beyond-saturation
+// point the shedding and dominance gates read.
+func (p ServingParams) OverloadLambda() float64 {
+	var m float64
+	for _, l := range p.Lambdas {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// ServingPoint is one (policy, offered-load) cell of BENCH_serving.json.
+type ServingPoint struct {
+	Policy    string  `json:"policy"`
+	Lambda    float64 `json:"lambda"`
+	Offered   int     `json:"offered"`
+	Completed int     `json:"completed"`
+	Rejected  int     `json:"rejected"`
+	Expired   int     `json:"expired"`
+	P50       int64   `json:"p50_ticks"`
+	P99       int64   `json:"p99_ticks"`
+	Goodput   float64 `json:"goodput_per_kilotick"`
+	TraceHash string  `json:"trace_hash"` // fnv64a of the full outcome trace
+}
+
+// ServingReport is the BENCH_serving.json document.
+type ServingReport struct {
+	GeneratedBy string         `json:"generated_by"`
+	Smoke       bool           `json:"smoke"`
+	Note        string         `json:"note"`
+	Params      ServingParams  `json:"params"`
+	Points      []ServingPoint `json:"points"`
+}
+
+// Point returns the cell for a policy and offered load, if present.
+func (r *ServingReport) Point(policy string, lambda float64) (ServingPoint, bool) {
+	for _, pt := range r.Points {
+		if pt.Policy == policy && pt.Lambda == lambda {
+			return pt, true
+		}
+	}
+	return ServingPoint{}, false
+}
+
+// ReadServingReport parses a BENCH_serving.json file.
+func ReadServingReport(path string) (*ServingReport, error) {
+	var r ServingReport
+	if err := readJSON(path, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// MeasureServingPoint runs one (policy, offered-load, seed) cell: a seeded
+// open-loop Poisson workload through the deterministic serving simulator.
+// Identical inputs produce an identical point on any machine.
+func MeasureServingPoint(p ServingParams, policy serve.Policy, lambda float64, seed int64) (ServingPoint, error) {
+	rng := rand.New(rand.NewSource(seed))
+	arr, err := serve.PoissonArrivals(rng, p.Queries, lambda, p.sizer())
+	if err != nil {
+		return ServingPoint{}, err
+	}
+	res, err := serve.Simulate(serve.SimConfig{
+		Workers:    p.Workers,
+		Policy:     policy,
+		QueueLimit: p.QueueLimit,
+		Deadline:   p.DeadlineTicks,
+		Arrivals:   arr,
+	})
+	if err != nil {
+		return ServingPoint{}, err
+	}
+	lat := res.CompletedLatencies()
+	return ServingPoint{
+		Policy:    policy.String(),
+		Lambda:    lambda,
+		Offered:   p.Queries,
+		Completed: res.Completed,
+		Rejected:  res.Rejected,
+		Expired:   res.Expired,
+		P50:       serve.Percentile(lat, 50),
+		P99:       serve.Percentile(lat, 99),
+		Goodput:   res.Goodput(1000),
+		TraceHash: res.TraceHash(),
+	}, nil
+}
+
+// ServingGates builds the hypotheses comparing a fresh serving report against
+// the committed baseline.
+func ServingGates(fresh, baseline *ServingReport, cfg GateConfig) []Hypothesis {
+	return []Hypothesis{
+		{
+			ID: "serving-determinism",
+			Claim: "every reported point reproduces exactly when re-simulated from its params " +
+				"(same seed ⇒ byte-identical outcome trace)",
+			Type: Deterministic,
+			Check: func() []Finding {
+				var fs []Finding
+				for _, pt := range fresh.Points {
+					pol, err := serve.ParsePolicy(pt.Policy)
+					if err != nil {
+						fs = append(fs, Finding{Label: pt.Policy, Pass: false, Got: err.Error()})
+						continue
+					}
+					got, err := MeasureServingPoint(fresh.Params, pol, pt.Lambda, fresh.Params.Seed)
+					if err != nil {
+						fs = append(fs, Finding{Label: cellLabel(pt), Pass: false, Got: err.Error()})
+						continue
+					}
+					fs = append(fs, Finding{
+						Label: cellLabel(pt),
+						Pass:  got == pt,
+						Got:   fmt.Sprintf("recomputed hash %s vs reported %s", got.TraceHash, pt.TraceHash),
+					})
+				}
+				if len(fs) == 0 {
+					fs = append(fs, Finding{Label: "points", Pass: false, Got: "fresh report has no points"})
+				}
+				return fs
+			},
+		},
+		{
+			ID: "serving-baseline-exact",
+			Claim: "the logical-time sweep matches the committed baseline cell for cell " +
+				"(deterministic simulation: any drift is a scheduler behaviour change)",
+			Type: Deterministic,
+			Check: func() []Finding {
+				var fs []Finding
+				if fmt.Sprintf("%+v", fresh.Params) != fmt.Sprintf("%+v", baseline.Params) {
+					fs = append(fs, Finding{Label: "params", Pass: false,
+						Got: fmt.Sprintf("fresh %+v vs baseline %+v", fresh.Params, baseline.Params)})
+				}
+				for _, bpt := range baseline.Points {
+					fpt, ok := fresh.Point(bpt.Policy, bpt.Lambda)
+					if !ok {
+						fs = append(fs, Finding{Label: cellLabel(bpt), Pass: false, Got: "missing from fresh report"})
+						continue
+					}
+					fs = append(fs, Finding{
+						Label: cellLabel(bpt),
+						Pass:  fpt == bpt,
+						Got: fmt.Sprintf("fresh p50/p99=%d/%d hash=%s, baseline p50/p99=%d/%d hash=%s",
+							fpt.P50, fpt.P99, fpt.TraceHash, bpt.P50, bpt.P99, bpt.TraceHash),
+					})
+				}
+				if len(baseline.Points) == 0 {
+					fs = append(fs, Finding{Label: "points", Pass: false, Got: "baseline has no points"})
+				}
+				return fs
+			},
+		},
+		{
+			ID: "srw-goodput-dominance",
+			Claim: fmt.Sprintf("beyond saturation, shortest-remaining-work sustains ≥%.1f× FIFO goodput "+
+				"(SRPT completes the light tail instead of queueing it behind heavy queries)", cfg.MinServingEffect),
+			Type:      Statistical,
+			Unit:      "completions/kilotick",
+			MinEffect: cfg.MinServingEffect,
+			Measure: func(seed int64) (Sample, error) {
+				lambda := fresh.Params.OverloadLambda()
+				fifo, err := MeasureServingPoint(fresh.Params, serve.FIFO, lambda, seed)
+				if err != nil {
+					return Sample{}, err
+				}
+				srw, err := MeasureServingPoint(fresh.Params, serve.ShortestRemaining, lambda, seed)
+				if err != nil {
+					return Sample{}, err
+				}
+				return Sample{Baseline: fifo.Goodput, Treatment: srw.Goodput}, nil
+			},
+		},
+		{
+			ID: "serving-overload-sheds",
+			Claim: "beyond saturation every policy sheds load (metered rejections > 0) instead of " +
+				"queueing without bound, and goodput does not collapse below half its sweep peak",
+			Type: Deterministic,
+			Check: func() []Finding {
+				var fs []Finding
+				lambda := fresh.Params.OverloadLambda()
+				for _, pol := range serve.Policies {
+					over, ok := fresh.Point(pol.String(), lambda)
+					if !ok {
+						fs = append(fs, Finding{Label: pol.String(), Pass: false,
+							Got: fmt.Sprintf("no point at λ=%.2f", lambda)})
+						continue
+					}
+					var peak float64
+					for _, pt := range fresh.Points {
+						if pt.Policy == pol.String() && pt.Goodput > peak {
+							peak = pt.Goodput
+						}
+					}
+					pass := over.Rejected > 0 && over.Goodput >= peak/2
+					fs = append(fs, Finding{
+						Label: pol.String(),
+						Pass:  pass,
+						Got: fmt.Sprintf("λ=%.2f: rejected=%d goodput=%.1f (peak %.1f)",
+							lambda, over.Rejected, over.Goodput, peak),
+					})
+				}
+				return fs
+			},
+		},
+	}
+}
+
+func cellLabel(pt ServingPoint) string {
+	return fmt.Sprintf("%s@%.2f", pt.Policy, pt.Lambda)
+}

@@ -1,0 +1,82 @@
+package hypo
+
+import (
+	"strings"
+	"testing"
+
+	"graphsys/internal/serve"
+)
+
+// buildServingReport materialises the default sweep exactly as
+// cmd/benchserving does.
+func buildServingReport(t *testing.T) *ServingReport {
+	t.Helper()
+	params := DefaultServingParams()
+	rep := &ServingReport{GeneratedBy: "test", Params: params}
+	for _, pol := range serve.Policies {
+		for _, lambda := range params.Lambdas {
+			pt, err := MeasureServingPoint(params, pol, lambda, params.Seed)
+			if err != nil {
+				t.Fatalf("measure %s@%.2f: %v", pol, lambda, err)
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	return rep
+}
+
+// TestServingGatesPassOnDefaultSweep is the claim-holds test: the committed
+// gate set (exact reproducibility, SRW goodput dominance across the seed set,
+// overload shedding) must pass on the default parameters. If a parameter
+// change breaks this, the claim needs re-tuning BEFORE a baseline is
+// committed, not after CI goes red.
+func TestServingGatesPassOnDefaultSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep (≈24 simulations × 4 re-checks)")
+	}
+	rep := buildServingReport(t)
+	out := Run("serving-gates", ServingGates(rep, rep, DefaultGateConfig()))
+	if !out.Pass() {
+		var sb strings.Builder
+		out.Fprint(&sb)
+		t.Fatalf("default sweep fails its own gates:\n%s", sb.String())
+	}
+}
+
+func TestServingGatesDetectInjectedRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep")
+	}
+	fresh := buildServingReport(t)
+	baseline := buildServingReport(t)
+	// a fake latency regression in one fresh cell: the exact-equality gates
+	// must catch both the divergence from the baseline and the broken
+	// reproducibility of the reported number
+	fresh.Points[3].P99 += 25
+	out := Run("serving-gates", ServingGates(fresh, baseline, DefaultGateConfig()))
+	if out.Pass() {
+		t.Fatal("gates passed despite an injected p99 regression")
+	}
+	failed := out.Failed()
+	wantFailing := map[string]bool{"serving-determinism": false, "serving-baseline-exact": false}
+	for _, id := range failed {
+		if _, ok := wantFailing[id]; ok {
+			wantFailing[id] = true
+		}
+	}
+	for id, hit := range wantFailing {
+		if !hit {
+			t.Fatalf("expected %s to fail, failed set: %v", id, failed)
+		}
+	}
+}
+
+func TestServingReportPointLookup(t *testing.T) {
+	rep := &ServingReport{Points: []ServingPoint{{Policy: "fifo", Lambda: 0.4, P99: 7}}}
+	if pt, ok := rep.Point("fifo", 0.4); !ok || pt.P99 != 7 {
+		t.Fatalf("lookup: %+v %v", pt, ok)
+	}
+	if _, ok := rep.Point("srw", 0.4); ok {
+		t.Fatal("phantom point")
+	}
+}

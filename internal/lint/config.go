@@ -60,6 +60,9 @@ func Default() *Config {
 			"internal/cluster", "internal/pregel", "internal/blogel",
 			"internal/quegel", "internal/gnndist", "internal/gnn",
 			"internal/tensor", "internal/gthinkerq", "internal/tthinker",
+			// the serving tier meters latency through an injected serve.Clock;
+			// the single annotated wall-clock read lives in serve.WallClock
+			"internal/serve",
 			// experiment tables are committed artifacts (EXPERIMENTS.md) and
 			// must be byte-identical run to run — wall time is banned outright
 			"internal/experiments",
@@ -79,9 +82,14 @@ func Default() *Config {
 		},
 		RandScope: []string{"internal"},
 
-		GoScope:   []string{"internal"},
-		GoAllowed: []string{"internal/cluster", "internal/tensor"},
+		GoScope: []string{"internal"},
+		// serve owns the serving tier's concurrency: the Pool's worker pool
+		// and the Batcher's serving loop, both joined in Close.
+		GoAllowed: []string{"internal/cluster", "internal/tensor", "internal/serve"},
 
+		// PanicScope "internal" covers the serving tier (internal/serve,
+		// internal/gthinkerq, internal/quegel): engines return typed errors
+		// (serve.ErrQueueFull et al.), never panic.
 		PanicScope:  []string{"internal"},
 		PanicExempt: []string{"internal/tensor", "internal/nn"},
 	}

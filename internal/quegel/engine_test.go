@@ -1,0 +1,115 @@
+package quegel
+
+import (
+	"errors"
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/pregel"
+	"graphsys/internal/serve"
+)
+
+func TestEngineMatchesSequential(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 4, 9)
+	queries := []Query{
+		{Src: 0, Dst: 399}, {Src: 10, Dst: 20}, {Src: 5, Dst: 5},
+		{Src: 100, Dst: 300}, {Src: 399, Dst: 0}, {Src: 42, Dst: 7},
+	}
+	want, _, err := AnswerSequential(g, queries, pregel.Config{Workers: 4})
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	eng, err := NewEngine(g, serve.Options{Workers: 4})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+	var tks []*serve.Ticket[Answer]
+	for _, q := range queries {
+		tk, err := eng.Submit(serve.Request[Query]{Query: q})
+		if err != nil {
+			t.Fatalf("submit %+v: %v", q, err)
+		}
+		tks = append(tks, tk)
+	}
+	eng.Drain()
+	for i, tk := range tks {
+		got, err := tk.Wait()
+		if err != nil || got.Dist != want[i].Dist {
+			t.Fatalf("query %d: got (%v, %v), want dist %d", i, got, err, want[i].Dist)
+		}
+	}
+	st, batches := eng.Stats()
+	if batches < 1 || st.Supersteps < 1 {
+		t.Fatalf("stats: %+v over %d batches", st, batches)
+	}
+	if m := eng.Metrics(); m.Completed != int64(len(queries)) {
+		t.Fatalf("metrics: %+v", m)
+	}
+}
+
+func TestEngineRejectsOutOfRangeEndpoints(t *testing.T) {
+	g := gen.Grid(3, 3)
+	eng, err := NewEngine(g, serve.Options{Workers: 2})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+	for _, q := range []Query{{Src: -1, Dst: 0}, {Src: 0, Dst: 9}, {Src: 100, Dst: 100}} {
+		if _, err := eng.Submit(serve.Request[Query]{Query: q}); !errors.Is(err, serve.ErrInvalidRequest) {
+			t.Fatalf("query %+v: %v, want ErrInvalidRequest", q, err)
+		}
+	}
+	// in-range queries still served after rejections
+	tk, err := eng.Submit(serve.Request[Query]{Query: Query{Src: 0, Dst: 8}})
+	if err != nil {
+		t.Fatalf("valid submit: %v", err)
+	}
+	if a, err := tk.Wait(); err != nil || a.Dist != 4 {
+		t.Fatalf("corner-to-corner on 3x3 grid: (%v, %v), want dist 4", a, err)
+	}
+	if _, err := NewEngine(nil, serve.Options{}); !errors.Is(err, serve.ErrInvalidRequest) {
+		t.Fatalf("nil graph: %v", err)
+	}
+}
+
+func TestEngineClosedAndShedding(t *testing.T) {
+	g := gen.Grid(4, 4)
+	eng, err := NewEngine(g, serve.Options{Workers: 2, QueueLimit: 1})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	// burst faster than the serving loop can drain a 1-slot queue: at least
+	// one submission must be shed with the typed error
+	shed := false
+	var last *serve.Ticket[Answer]
+	for i := 0; i < 200 && !shed; i++ {
+		tk, err := eng.Submit(serve.Request[Query]{Query: Query{Src: 0, Dst: graph.V(i % 16)}})
+		switch {
+		case err == nil:
+			last = tk
+		case errors.Is(err, serve.ErrQueueFull):
+			shed = true
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if !shed {
+		t.Fatal("no submission shed despite QueueLimit 1")
+	}
+	if last != nil {
+		if _, err := last.Wait(); err != nil {
+			t.Fatalf("admitted query failed: %v", err)
+		}
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := eng.Submit(serve.Request[Query]{Query: Query{Src: 0, Dst: 1}}); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+	if m := eng.Metrics(); m.Rejected < 1 {
+		t.Fatalf("metrics: %+v", m)
+	}
+}

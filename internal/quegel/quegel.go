@@ -133,8 +133,12 @@ func AnswerSequential(g *graph.Graph, queries []Query, cfg pregel.Config) ([]Ans
 	return out, st, nil
 }
 
-// Server is the interactive face: it accumulates queries and serves each
-// batch with one shared run (Quegel's batching window).
+// Server is the original interactive face: it accumulates queries and serves
+// each batch with one shared run (Quegel's batching window), synchronously.
+//
+// Deprecated: use NewEngine with serve.Options — the serving tier adds
+// asynchronous submission with tickets, admission control, deadlines,
+// cancellation and typed errors over the same AnswerBatched core.
 type Server struct {
 	g       *graph.Graph
 	cfg     pregel.Config

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Batcher is the batch-shared execution substrate behind the Quegel-shaped
+// engines: admitted queries accumulate in a window and a serving loop folds
+// them into shared runs (one superstep sequence serving the whole batch —
+// Quegel's superstep-sharing), completing every ticket in the batch at once.
+//
+// Batcher[Q, A] itself implements Engine[Q, A]; engines wrap it to add
+// payload validation. The Policy orders queries INTO batches: FIFO and
+// RoundRobin admit in arrival order (inside one shared run all members
+// progress together anyway), ShortestRemaining admits cheapest-estimate
+// first, WeightedFair heaviest weight first — the distinction matters when
+// Options.Batch caps the window and queries compete for the next run.
+type Batcher[Q, A any] struct {
+	opts  Options
+	clock Clock
+	run   func(batch []Q) ([]A, error)
+
+	ctr    counters
+	nextID atomic.Int64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*bitem[Q, A]
+	inflight int
+	closing  bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// bitem is one queued query awaiting a batch.
+type bitem[Q, A any] struct {
+	query  Q
+	ticket *Ticket[A]
+	cost   int64
+	seq    int64 // admission order
+}
+
+// NewBatcher starts a batch engine whose shared runs are executed by run
+// (answers must be positionally aligned with the batch). Returns
+// ErrInvalidRequest for a nil run or an unknown policy.
+func NewBatcher[Q, A any](opts Options, run func(batch []Q) ([]A, error)) (*Batcher[Q, A], error) {
+	if run == nil {
+		return nil, ErrInvalidRequest
+	}
+	if !opts.Policy.valid() {
+		return nil, ErrInvalidRequest
+	}
+	b := &Batcher[Q, A]{opts: opts, clock: opts.clock(), run: run}
+	b.cond = sync.NewCond(&b.mu)
+	b.wg.Add(1)
+	//lint:allow nakedgo the serving loop is owned by the Batcher and joined in Close; batch windows form outside cluster.Run
+	go b.loop()
+	return b, nil
+}
+
+// Submit admits one query into the current batch window. ErrClosed after
+// Close has begun; ErrQueueFull (metered) when QueueLimit queries are
+// already queued or running.
+func (b *Batcher[Q, A]) Submit(req Request[Q]) (*Ticket[A], error) {
+	b.ctr.submitted.Add(1)
+	now := b.clock()
+	b.mu.Lock()
+	if b.closing {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if b.opts.QueueLimit > 0 && len(b.queue)+b.inflight >= b.opts.QueueLimit {
+		b.ctr.rejected.Add(1)
+		b.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	id := b.nextID.Add(1)
+	tk := newTicket[A](id, now, b.opts.deadlineFor(req.Deadline), weightFor(req.Weight))
+	b.ctr.admitted.Add(1)
+	b.queue = append(b.queue, &bitem[Q, A]{query: req.Query, ticket: tk, cost: req.Cost, seq: id})
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	return tk, nil
+}
+
+// Drain blocks until every admitted query has reached a terminal state.
+func (b *Batcher[Q, A]) Drain() {
+	b.mu.Lock()
+	for len(b.queue) > 0 || b.inflight > 0 {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// Close drains the queue, then stops the serving loop. Submit during or
+// after Close returns ErrClosed. Safe to call more than once.
+func (b *Batcher[Q, A]) Close() error {
+	b.mu.Lock()
+	b.closing = true
+	for len(b.queue) > 0 || b.inflight > 0 {
+		b.cond.Wait()
+	}
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	b.wg.Wait()
+	return nil
+}
+
+// Metrics returns a snapshot of the admission and completion counters.
+func (b *Batcher[Q, A]) Metrics() Metrics { return b.ctr.snapshot() }
+
+// loop is the serving loop: form a batch (reaping canceled and expired
+// queries — the scheduling points where those are observed), run it, publish
+// the answers.
+func (b *Batcher[Q, A]) loop() {
+	defer b.wg.Done()
+	for {
+		batch, ok := b.nextBatch()
+		if !ok {
+			return
+		}
+		queries := make([]Q, len(batch))
+		for i, it := range batch {
+			queries[i] = it.query
+		}
+		answers, err := b.run(queries)
+		if err == nil && len(answers) != len(batch) {
+			err = fmt.Errorf("%w: batch run returned %d answers for %d queries", ErrInvalidRequest, len(answers), len(batch))
+		}
+		now := b.clock()
+		b.mu.Lock()
+		for i, it := range batch {
+			if err != nil {
+				var zero A
+				it.ticket.complete(zero, err, now)
+				b.ctr.failed.Add(1)
+				continue
+			}
+			it.ticket.complete(answers[i], nil, now)
+			b.ctr.completed.Add(1)
+		}
+		b.inflight = 0
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+}
+
+// nextBatch blocks until queries are queued (or the batcher closes), drops
+// canceled/expired ones, orders the rest under the policy and takes up to
+// Options.Batch of them.
+func (b *Batcher[Q, A]) nextBatch() ([]*bitem[Q, A], bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		now := b.clock()
+		kept := b.queue[:0]
+		for _, it := range b.queue {
+			var zero A
+			switch {
+			case it.ticket.Canceled():
+				it.ticket.complete(zero, ErrCanceled, now)
+				b.ctr.canceled.Add(1)
+			case it.ticket.expiredAt(now):
+				it.ticket.complete(zero, ErrDeadlineExceeded, now)
+				b.ctr.expired.Add(1)
+			default:
+				kept = append(kept, it)
+			}
+		}
+		for i := len(kept); i < len(b.queue); i++ {
+			b.queue[i] = nil
+		}
+		b.queue = kept
+		if len(b.queue) > 0 {
+			b.orderLocked()
+			n := len(b.queue)
+			if b.opts.Batch > 0 && b.opts.Batch < n {
+				n = b.opts.Batch
+			}
+			batch := make([]*bitem[Q, A], n)
+			copy(batch, b.queue[:n])
+			rest := append(b.queue[:0], b.queue[n:]...)
+			for i := len(rest); i < len(b.queue); i++ {
+				b.queue[i] = nil
+			}
+			b.queue = rest
+			b.inflight = n
+			b.cond.Broadcast() // queue shrank: wake Drain/Close waiters
+			return batch, true
+		}
+		if b.closed {
+			return nil, false
+		}
+		b.cond.Broadcast() // queue emptied by reaping: wake Drain/Close waiters
+		b.cond.Wait()
+	}
+}
+
+// orderLocked sorts the window under the policy; stable on admission order,
+// so every policy is deterministic.
+func (b *Batcher[Q, A]) orderLocked() {
+	switch b.opts.Policy {
+	case ShortestRemaining:
+		sort.SliceStable(b.queue, func(i, k int) bool { return b.queue[i].cost < b.queue[k].cost })
+	case WeightedFair:
+		sort.SliceStable(b.queue, func(i, k int) bool {
+			return b.queue[i].ticket.weight > b.queue[k].ticket.weight
+		})
+	default: // FIFO / RoundRobin: admission order (seq ascending, already sorted)
+	}
+}
