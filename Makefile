@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify bench bench-kernels bench-comms bench-serving bench-smoke bench-check
+.PHONY: build test race vet lint verify bench bench-kernels bench-comms bench-serving bench-engine bench-smoke bench-check
 
 build:
 	$(GO) build ./...
@@ -52,21 +52,32 @@ bench-comms:
 bench-serving:
 	$(GO) run ./cmd/benchserving -out BENCH_serving.json
 
-# Quick pass of the kernel, comms and serving reports (few iterations; the
-# serving sweep is deterministic so its smoke run IS the full sweep). Writes
-# to scratch paths (gitignored) so it never clobbers the committed full-run
-# reports; bench-check consumes these.
+# End-to-end engine benchmark: whole pregel supersteps (PageRank + CC) across
+# the dense-slot / map-combiner / legacy communication paths at 1/2/8
+# workers, measured differentially so per-round allocs and ns are exact. The
+# command refuses to write a report if the three paths' results diverge.
+bench-engine:
+	$(GO) test -bench 'GangDispatch|SendDenseCombiner|SendMapCombiner' -benchmem -run '^$$' ./internal/cluster/
+	$(GO) run ./cmd/benchengine -out BENCH_engine.json
+
+# Quick pass of the kernel, comms, serving and engine reports (few
+# iterations; the serving sweep is deterministic so its smoke run IS the full
+# sweep). Writes to scratch paths (gitignored) so it never clobbers the
+# committed full-run reports; bench-check consumes these.
 bench-smoke:
 	$(GO) run ./cmd/benchkernels -smoke -out BENCH_kernels.smoke.json
 	$(GO) run ./cmd/benchcomms -smoke -out BENCH_comms.smoke.json
 	$(GO) run ./cmd/benchserving -smoke -out BENCH_serving.smoke.json
+	$(GO) run ./cmd/benchengine -smoke -out BENCH_engine.smoke.json
 
 # Regression gate: compare the fresh smoke reports against the committed
 # BENCH_*.json baselines via the typed hypotheses in internal/hypo. Fails
 # (non-zero exit) on >20% allocs/op growth, loss of the staged≥3×legacy
 # within-run dominance, diverged accounting, >50% speedup loss vs the
-# baseline, or ANY serving-sweep cell drifting from the committed
-# BENCH_serving.json (deterministic simulation ⇒ exact equality).
-# Artifacts land in hypo_runs/bench-check/.
+# baseline, ANY serving-sweep cell drifting from the committed
+# BENCH_serving.json (deterministic simulation ⇒ exact equality), dense
+# engine supersteps allocating (>2 allocs/round), or the dense path losing
+# its rounds/sec dominance over the map (≥1.3× at 8 workers) or legacy
+# paths. Artifacts land in hypo_runs/bench-check/.
 bench-check: bench-smoke
 	$(GO) run ./cmd/benchcheck

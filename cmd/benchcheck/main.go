@@ -34,6 +34,8 @@ func run(args []string, stdout, stderr interface {
 		commsBL   = fs.String("comms-baseline", "BENCH_comms.json", "committed comms baseline")
 		serving   = fs.String("serving", "BENCH_serving.smoke.json", "fresh serving report (from make bench-smoke)")
 		servingBL = fs.String("serving-baseline", "BENCH_serving.json", "committed serving baseline")
+		engine    = fs.String("engine", "BENCH_engine.smoke.json", "fresh engine report (from make bench-smoke)")
+		engineBL  = fs.String("engine-baseline", "BENCH_engine.json", "committed engine baseline")
 		artifacts = fs.String("artifacts", "hypo_runs/bench-check", "per-run artifact folder (results.json + results.csv); empty to skip")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -70,10 +72,21 @@ func run(args []string, stdout, stderr interface {
 		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
 		return 2
 	}
+	fe, err := hypo.ReadEngineReport(*engine)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v (run `make bench-smoke` first)\n", err)
+		return 2
+	}
+	be, err := hypo.ReadEngineReport(*engineBL)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
+		return 2
+	}
 
 	cfg := hypo.DefaultGateConfig()
 	gates := hypo.BenchGates(fk, bk, fc, bc, cfg)
 	gates = append(gates, hypo.ServingGates(fsv, bsv, cfg)...)
+	gates = append(gates, hypo.EngineGates(fe, be, cfg)...)
 	rep := hypo.Run("bench-check", gates)
 	rep.Fprint(stdout)
 	if *artifacts != "" {

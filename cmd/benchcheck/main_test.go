@@ -44,6 +44,26 @@ func fixtures(t *testing.T) (dir string, kernels, comms *hypo.KernelsReport, com
 	return dir, k, k, c
 }
 
+// engineFixture is a healthy BENCH_engine.json: dense allocation-free and
+// dominating map (≥1.3× at 8 workers) and legacy at every worker count.
+func engineFixture() *hypo.EngineReport {
+	rep := &hypo.EngineReport{
+		GeneratedBy: "cmd/benchengine", GOMAXPROCS: 1,
+		Check: map[string]any{"identical": true},
+	}
+	for _, w := range []int{1, 2, 8} {
+		base := 10000.0 / float64(w)
+		for _, algo := range []string{"pagerank", "cc"} {
+			rep.Rows = append(rep.Rows,
+				hypo.EngineRow{Algo: algo, Path: "dense", Workers: w, Rounds: 40, RoundsPerSec: base * 1.6, AllocsPerRound: 0},
+				hypo.EngineRow{Algo: algo, Path: "map", Workers: w, Rounds: 40, RoundsPerSec: base, AllocsPerRound: 0},
+				hypo.EngineRow{Algo: algo, Path: "legacy", Workers: w, Rounds: 40, RoundsPerSec: base / 2, AllocsPerRound: 40},
+			)
+		}
+	}
+	return rep
+}
+
 // servingFixture materialises the real default sweep (it is deterministic and
 // fast), since the serving gates re-simulate from the embedded params.
 func servingFixture(t *testing.T) *hypo.ServingReport {
@@ -72,6 +92,8 @@ func runWith(t *testing.T, dir string) (int, string) {
 		"-comms-baseline", filepath.Join(dir, "c.json"),
 		"-serving", filepath.Join(dir, "s.smoke.json"),
 		"-serving-baseline", filepath.Join(dir, "s.json"),
+		"-engine", filepath.Join(dir, "e.smoke.json"),
+		"-engine-baseline", filepath.Join(dir, "e.json"),
 		"-artifacts", filepath.Join(dir, "hypo_runs", "bench-check"),
 	}, &out, &errb)
 	return code, out.String() + errb.String()
@@ -86,6 +108,9 @@ func TestExitZeroOnHealthyRun(t *testing.T) {
 	writeJSON(t, filepath.Join(dir, "c.json"), comms)
 	writeJSON(t, filepath.Join(dir, "s.smoke.json"), serving)
 	writeJSON(t, filepath.Join(dir, "s.json"), serving)
+	eng := engineFixture()
+	writeJSON(t, filepath.Join(dir, "e.smoke.json"), eng)
+	writeJSON(t, filepath.Join(dir, "e.json"), eng)
 	code, out := runWith(t, dir)
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0\n%s", code, out)
@@ -95,7 +120,7 @@ func TestExitZeroOnHealthyRun(t *testing.T) {
 	}
 }
 
-// TestExitNonZeroOnInjectedRegression is the ISSUE's negative test at the
+// TestExitNonZeroOnInjectedRegression is the required negative test at the
 // binary level: a scratch baseline with allocs/op >20% below the fresh run's
 // must drive a non-zero exit.
 func TestExitNonZeroOnInjectedRegression(t *testing.T) {
@@ -114,6 +139,9 @@ func TestExitNonZeroOnInjectedRegression(t *testing.T) {
 	serving := servingFixture(t)
 	writeJSON(t, filepath.Join(dir, "s.smoke.json"), serving)
 	writeJSON(t, filepath.Join(dir, "s.json"), serving)
+	eng := engineFixture()
+	writeJSON(t, filepath.Join(dir, "e.smoke.json"), eng)
+	writeJSON(t, filepath.Join(dir, "e.json"), eng)
 	code, out := runWith(t, dir)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 on injected regression\n%s", code, out)
@@ -137,12 +165,74 @@ func TestExitNonZeroOnServingLatencyRegression(t *testing.T) {
 	bad := servingFixture(t)
 	bad.Points[5].P99 *= 3 // a fake scheduler latency regression
 	writeJSON(t, filepath.Join(dir, "s.smoke.json"), bad)
+	eng := engineFixture()
+	writeJSON(t, filepath.Join(dir, "e.smoke.json"), eng)
+	writeJSON(t, filepath.Join(dir, "e.json"), eng)
 	code, out := runWith(t, dir)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 on injected serving regression\n%s", code, out)
 	}
 	if !strings.Contains(out, "serving-baseline-exact") || !strings.Contains(out, "FAIL") {
 		t.Fatalf("output does not name the failing serving gate:\n%s", out)
+	}
+}
+
+// TestExitNonZeroOnEngineAllocsRegression is the engine gate's negative test: a fresh
+// engine report whose dense steady-state supersteps suddenly allocate must
+// drive exit 1, and the output must name the engine-allocs gate.
+func TestExitNonZeroOnEngineAllocsRegression(t *testing.T) {
+	dir, fresh, baseline, comms := fixtures(t)
+	writeJSON(t, filepath.Join(dir, "k.smoke.json"), fresh)
+	writeJSON(t, filepath.Join(dir, "k.json"), baseline)
+	writeJSON(t, filepath.Join(dir, "c.smoke.json"), comms)
+	writeJSON(t, filepath.Join(dir, "c.json"), comms)
+	serving := servingFixture(t)
+	writeJSON(t, filepath.Join(dir, "s.smoke.json"), serving)
+	writeJSON(t, filepath.Join(dir, "s.json"), serving)
+	writeJSON(t, filepath.Join(dir, "e.json"), engineFixture())
+	bad := engineFixture()
+	for i := range bad.Rows {
+		if bad.Rows[i].Path == "dense" && bad.Rows[i].Algo == "pagerank" {
+			bad.Rows[i].AllocsPerRound = 37 // fake garbage creeping back into the hot path
+		}
+	}
+	writeJSON(t, filepath.Join(dir, "e.smoke.json"), bad)
+	code, out := runWith(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on injected engine allocs regression\n%s", code, out)
+	}
+	if !strings.Contains(out, "engine-allocs") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("output does not name the failing engine gate:\n%s", out)
+	}
+}
+
+// TestExitNonZeroOnDenseDominanceRegression: a fresh report where the dense
+// path has lost its edge over the map path at 8 workers must fail the
+// headline gate.
+func TestExitNonZeroOnDenseDominanceRegression(t *testing.T) {
+	dir, fresh, baseline, comms := fixtures(t)
+	writeJSON(t, filepath.Join(dir, "k.smoke.json"), fresh)
+	writeJSON(t, filepath.Join(dir, "k.json"), baseline)
+	writeJSON(t, filepath.Join(dir, "c.smoke.json"), comms)
+	writeJSON(t, filepath.Join(dir, "c.json"), comms)
+	serving := servingFixture(t)
+	writeJSON(t, filepath.Join(dir, "s.smoke.json"), serving)
+	writeJSON(t, filepath.Join(dir, "s.json"), serving)
+	writeJSON(t, filepath.Join(dir, "e.json"), engineFixture())
+	bad := engineFixture()
+	for i := range bad.Rows {
+		if bad.Rows[i].Path == "dense" && bad.Rows[i].Algo == "pagerank" && bad.Rows[i].Workers == 8 {
+			r, _ := bad.Row("pagerank", "map", 8)
+			bad.Rows[i].RoundsPerSec = r.RoundsPerSec * 1.1 // under the 1.3x headline floor
+		}
+	}
+	writeJSON(t, filepath.Join(dir, "e.smoke.json"), bad)
+	code, out := runWith(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on injected dominance regression\n%s", code, out)
+	}
+	if !strings.Contains(out, "dense-dominates-map-at-8") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("output does not name the failing dominance gate:\n%s", out)
 	}
 }
 

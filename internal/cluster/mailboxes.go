@@ -39,8 +39,9 @@ type Mailboxes[M any] struct {
 
 	// staged mode
 	outs    []*Outbox[M]
-	key     func(M) int64  // non-nil ⇒ sender-side combining enabled
-	combine func(a, b M) M // merges two messages with equal key and destination
+	key     func(M) int64  // non-nil ⇒ map-keyed sender-side combining enabled
+	slot    func(M) int    // non-nil ⇒ dense slot-indexed combining enabled
+	combine func(a, b M) M // merges two messages with equal key/slot and destination
 	// flush scratch, reused every round (one entry per destination)
 	fmsgs     []int64
 	fattempts []int64
@@ -62,6 +63,10 @@ type Outbox[M any] struct {
 	// per destination: combiner key → index into stage[d]; nil when the
 	// mailboxes have no combiner. Maps are cleared (not reallocated) at flush.
 	keyIdx []map[int64]int
+	// per destination: dense slot table for SetDenseCombiner — slotTab[d][s]
+	// is the index into stage[d] of the message occupying slot s, or -1.
+	// Touched entries are reset (not reallocated) at flush.
+	slotTab [][]int32
 }
 
 // NewMailboxes creates staged mailboxes for n workers on net. size reports
@@ -125,6 +130,10 @@ func (mb *Mailboxes[M]) SetCombiner(key func(M) int64, combine func(a, b M) M) {
 		//lint:allow panicpolicy nil combiner halves are a programmer error at wiring time, before any run starts
 		panic("cluster: SetCombiner needs both a key and a combine function")
 	}
+	if mb.combine != nil {
+		//lint:allow panicpolicy double combiner installation is a wiring-time programmer error
+		panic("cluster: mailboxes already have a combiner")
+	}
 	mb.key = key
 	mb.combine = combine
 	n := len(mb.inbox)
@@ -132,6 +141,50 @@ func (mb *Mailboxes[M]) SetCombiner(key func(M) int64, combine func(a, b M) M) {
 		ob.keyIdx = make([]map[int64]int, n)
 		for d := range ob.keyIdx {
 			ob.keyIdx[d] = make(map[int64]int)
+		}
+	}
+}
+
+// SetDenseCombiner enables sender-side combining addressed by a dense slot
+// index instead of a hashed key: slot(msg) must return a stable integer in
+// [0, slots(dest)) identifying the combining class of msg at its destination
+// worker — typically the destination-local vertex id, with slots(dest) the
+// number of vertices dest owns. Combining semantics are identical to
+// SetCombiner (first-occurrence order preserved, combine(queued, incoming)
+// in send order), but the per-send map hash + lookup is replaced by one
+// []int32 load, which is what makes the engine hot path allocation- and
+// hash-free (DESIGN.md §3.12). slot must agree for messages that combine:
+// slot(combine(a,b)) == slot(a) == slot(b).
+//
+// The slot tables cost 4·slots(dest) bytes per (sender, destination) pair —
+// the dense-id trade: engines with compact per-destination id spaces
+// (pregel's owned-vertex lists) use this path; engines whose combining key
+// space is sparse or unbounded (quegel's (vertex, query id) pairs) stay on
+// SetCombiner. Call before the first Send; staged substrate only.
+func (mb *Mailboxes[M]) SetDenseCombiner(slots func(dest int) int, slot func(M) int, combine func(a, b M) M) {
+	if mb.legacy {
+		//lint:allow panicpolicy documented API misuse; only reachable by wiring a combiner onto the legacy benchmark baseline
+		panic("cluster: combiners require staged mailboxes (NewMailboxes)")
+	}
+	if slots == nil || slot == nil || combine == nil {
+		//lint:allow panicpolicy nil combiner parts are a programmer error at wiring time, before any run starts
+		panic("cluster: SetDenseCombiner needs slots, slot and combine functions")
+	}
+	if mb.combine != nil {
+		//lint:allow panicpolicy double combiner installation is a wiring-time programmer error
+		panic("cluster: mailboxes already have a combiner")
+	}
+	mb.slot = slot
+	mb.combine = combine
+	n := len(mb.inbox)
+	for _, ob := range mb.outs {
+		ob.slotTab = make([][]int32, n)
+		for d := range ob.slotTab {
+			tab := make([]int32, slots(d))
+			for i := range tab {
+				tab[i] = -1
+			}
+			ob.slotTab[d] = tab
 		}
 	}
 }
@@ -151,7 +204,16 @@ func (mb *Mailboxes[M]) Outbox(w int) *Outbox[M] {
 // the combiner merge when one is installed).
 func (ob *Outbox[M]) Send(to int, msg M) {
 	mb := ob.mb
-	if mb.combine != nil {
+	if mb.slot != nil {
+		// dense path: one array load replaces the hash + map lookup
+		tab := ob.slotTab[to]
+		s := mb.slot(msg)
+		if i := tab[s]; i >= 0 {
+			ob.stage[to][i] = mb.combine(ob.stage[to][i], msg)
+			return
+		}
+		tab[s] = int32(len(ob.stage[to]))
+	} else if mb.combine != nil {
 		k := mb.key(msg)
 		if i, ok := ob.keyIdx[to][k]; ok {
 			ob.stage[to][i] = mb.combine(ob.stage[to][i], msg)
@@ -242,13 +304,23 @@ func (mb *Mailboxes[M]) Exchange() int64 {
 			// deterministic merge: senders are visited in rank order, and
 			// within a sender messages keep their send order
 			mb.inbox[d] = append(mb.inbox[d], st...)
-			for i := range st {
-				st[i] = zero
+			if ob.slotTab != nil {
+				// reset only the touched slots: each staged message names its
+				// own slot, so the reset is O(messages), never O(slots)
+				tab := ob.slotTab[d]
+				for i := range st {
+					tab[mb.slot(st[i])] = -1
+					st[i] = zero
+				}
+			} else {
+				for i := range st {
+					st[i] = zero
+				}
+				if ob.keyIdx != nil {
+					clear(ob.keyIdx[d])
+				}
 			}
 			ob.stage[d] = st[:0]
-			if ob.keyIdx != nil {
-				clear(ob.keyIdx[d])
-			}
 		}
 		mb.net.flushSender(s, mb.fmsgs, mb.fattempts, mb.fbytes, localMsgs)
 		for d := range mb.fmsgs {

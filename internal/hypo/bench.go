@@ -145,17 +145,38 @@ type GateConfig struct {
 	// saturation, shortest-remaining-work must sustain this multiple of
 	// FIFO's goodput in every seeded sample (default 1.2).
 	MinServingEffect float64
+	// MaxEngineAllocs is the absolute bound on a dense-path steady-state
+	// PageRank superstep (default 2 allocs/round; the PR 8 runs measure 0).
+	MaxEngineAllocs int64
+	// MinDenseEffect is the engine dominance threshold: dense slot combining
+	// must beat the map-combiner path's rounds/sec at EVERY worker count by
+	// this factor (default 1.05 — the loose everywhere-floor; the 8-worker
+	// headline cell has its own tighter gate).
+	MinDenseEffect float64
+	// MinDense8Effect is the headline acceptance bound: dense PageRank
+	// rounds/sec at 8 workers ≥ this multiple of the map path (default 1.3).
+	MinDense8Effect float64
+	// MinEngineLegacyEffect is the end-to-end staged-vs-legacy dominance
+	// threshold: the dense path must sustain this multiple of the legacy
+	// mailboxes' rounds/sec at every worker count (default 1.5; the
+	// substrate-level comms gate demands 3× on raw sends — whole rounds also
+	// contain compute and demux, so the end-to-end floor is looser).
+	MinEngineLegacyEffect float64
 }
 
 // DefaultGateConfig returns the standard tolerance bands.
 func DefaultGateConfig() GateConfig {
 	return GateConfig{
-		AllocBand:        0.20,
-		AllocSlack:       2,
-		MinCommsEffect:   3.0,
-		SpeedupBand:      0.5,
-		MaxEpochAllocs:   25,
-		MinServingEffect: 1.2,
+		AllocBand:             0.20,
+		AllocSlack:            2,
+		MinCommsEffect:        3.0,
+		SpeedupBand:           0.5,
+		MaxEpochAllocs:        25,
+		MinServingEffect:      1.2,
+		MaxEngineAllocs:       2,
+		MinDenseEffect:        1.05,
+		MinDense8Effect:       1.3,
+		MinEngineLegacyEffect: 1.5,
 	}
 }
 

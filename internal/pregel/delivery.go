@@ -1,0 +1,170 @@
+package pregel
+
+import (
+	"graphsys/internal/graph"
+)
+
+// delivery is the engine's columnar inbox (DESIGN.md §3.12). Each worker's
+// round of inbound messages is scattered — by a stable counting sort on the
+// destination-local vertex id — into one flat per-worker payload buffer, and
+// msgs[v] becomes a view into that buffer instead of an owned per-vertex
+// slice. The demux loop therefore touches only the owner worker's own flat
+// buffer, count table and touched list (no cross-worker active[] stores,
+// no per-vertex append growth), and every buffer is reused across rounds, so
+// a steady-state demux performs no allocation.
+//
+// For the legacy per-message substrate, normalizeLegacy first rewrites the
+// scheduling-ordered inbox into the exact stream the staged substrate would
+// have delivered, so all three communication paths feed identical bytes into
+// the scatter.
+type delivery[M any] struct {
+	owned    [][]graph.V
+	localIdx []int32 // global vertex id → index into the owner's owned list
+
+	// per worker, reused every round
+	flat    [][]M     // round payloads in scatter order; msgs[v] are views
+	counts  [][]int32 // per local id: messages this round; all-zero between rounds
+	cursor  [][]int32 // scatter cursors (start offsets during the scatter pass)
+	touched [][]int32 // local ids that received ≥1 message, discovery order
+
+	// legacy-oracle scratch (nil unless the run uses CommsLegacy)
+	sorted    [][]vmsg[M]
+	combined  [][]vmsg[M]
+	senderOff [][]int32
+}
+
+func newDelivery[M any](owned [][]graph.V, localIdx []int32, legacy bool) *delivery[M] {
+	n := len(owned)
+	d := &delivery[M]{
+		owned:    owned,
+		localIdx: localIdx,
+		flat:     make([][]M, n),
+		counts:   make([][]int32, n),
+		cursor:   make([][]int32, n),
+		touched:  make([][]int32, n),
+	}
+	for w := range owned {
+		d.counts[w] = make([]int32, len(owned[w]))
+		d.cursor[w] = make([]int32, len(owned[w]))
+	}
+	if legacy {
+		d.sorted = make([][]vmsg[M], n)
+		d.combined = make([][]vmsg[M], n)
+		d.senderOff = make([][]int32, n)
+		for w := range owned {
+			d.senderOff[w] = make([]int32, n+1)
+		}
+	}
+	return d
+}
+
+// scatter groups worker w's inbound stream by destination vertex into the
+// worker's flat buffer, installs msgs[v] views and activates recipients.
+// Only entries owned by w are touched, so concurrent per-worker scatters are
+// race-free. Returns the number of vertices newly activated.
+func (d *delivery[M]) scatter(w int, stream []vmsg[M], msgs [][]M, active []bool) int64 {
+	if len(stream) == 0 {
+		return 0
+	}
+	counts, cursor, touched := d.counts[w], d.cursor[w], d.touched[w]
+	for i := range stream {
+		lid := d.localIdx[stream[i].to]
+		if counts[lid] == 0 {
+			touched = append(touched, lid)
+		}
+		counts[lid]++
+	}
+	flat := d.flat[w]
+	// zero before reuse so pointer-bearing M from last round does not stay
+	// reachable through the retained backing array
+	clear(flat)
+	if cap(flat) < len(stream) {
+		flat = make([]M, len(stream))
+	} else {
+		flat = flat[:len(stream)]
+	}
+	off := int32(0)
+	for _, lid := range touched {
+		cursor[lid] = off
+		off += counts[lid]
+	}
+	for i := range stream {
+		lid := d.localIdx[stream[i].to]
+		flat[cursor[lid]] = stream[i].m
+		cursor[lid]++
+	}
+	var activated int64
+	owned := d.owned[w]
+	for _, lid := range touched {
+		end := cursor[lid]
+		v := owned[lid]
+		msgs[v] = flat[end-counts[lid] : end : end]
+		if !active[v] {
+			active[v] = true
+			activated++
+		}
+		counts[lid] = 0 // restore the all-zero between-rounds invariant
+	}
+	d.flat[w] = flat
+	d.touched[w] = touched[:0]
+	return activated
+}
+
+// normalizeLegacy rewrites worker w's legacy inbox into the exact stream the
+// staged substrate would deliver for the same sends: a stable counting sort
+// by ascending sender rank first (the legacy inbox order is mutex-scheduling
+// dependent), then — when the program has a combiner — receiver-side
+// combining per sender run with the staged path's fold order
+// (combine(queued, incoming) in send order, first-occurrence positions
+// preserved). Matching the operation structure exactly is what keeps float
+// folds bitwise identical across the three communication paths; this is the
+// equivalence oracle, so its own allocations are not a concern.
+func (d *delivery[M]) normalizeLegacy(w, workers int, in []vmsg[M], key func(vmsg[M]) int64, combine func(a, b M) M) []vmsg[M] {
+	off := d.senderOff[w]
+	for i := range off {
+		off[i] = 0
+	}
+	for i := range in {
+		off[in[i].sender+1]++
+	}
+	for s := 0; s < workers; s++ {
+		off[s+1] += off[s]
+	}
+	sorted := d.sorted[w]
+	clear(sorted)
+	if cap(sorted) < len(in) {
+		sorted = make([]vmsg[M], len(in))
+	} else {
+		sorted = sorted[:len(in)]
+	}
+	for i := range in {
+		s := in[i].sender
+		sorted[off[s]] = in[i]
+		off[s]++
+	}
+	d.sorted[w] = sorted
+	if combine == nil {
+		return sorted
+	}
+	out := d.combined[w]
+	clear(out)
+	out = out[:0]
+	runIdx := map[int64]int{}
+	sender := int32(-1)
+	for i := range sorted {
+		vm := sorted[i]
+		if vm.sender != sender {
+			sender = vm.sender
+			clear(runIdx) // combining classes never span sender runs
+		}
+		k := key(vm)
+		if j, ok := runIdx[k]; ok {
+			out[j].m = combine(out[j].m, vm.m)
+		} else {
+			runIdx[k] = len(out)
+			out = append(out, vm)
+		}
+	}
+	d.combined[w] = out
+	return out
+}

@@ -1,0 +1,240 @@
+package pregel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+)
+
+// allComms are the three communication paths a run can take; every test in
+// this file holds them to the same answers.
+var allComms = []struct {
+	name string
+	path CommsPath
+}{
+	{"dense", CommsDense},
+	{"map", CommsMap},
+	{"legacy", CommsLegacy},
+}
+
+// TestPageRankBitwiseAcrossCommsPaths: the dense-slot, map-keyed and legacy
+// paths must produce bitwise-identical ranks at every worker count. This is
+// the strong form of the equivalence claim — PageRank folds floats, so any
+// difference in message order or combining structure between the paths shows
+// up as a bit flip. Dense and map must additionally produce identical network
+// Stats (same combined message counts); legacy sends uncombined messages, so
+// only its results are compared.
+func TestPageRankBitwiseAcrossCommsPaths(t *testing.T) {
+	g := gen.RMAT(10, 8, 3)
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			base, rbase, err := PageRank(g, 12, Config{Workers: workers, Comms: CommsDense})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range allComms[1:] {
+				got, r, err := PageRank(g, 12, Config{Workers: workers, Comms: c.path})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range base {
+					if got[v] != base[v] {
+						t.Fatalf("%s: rank[%d] = %v, dense says %v", c.name, v, got[v], base[v])
+					}
+				}
+				if r.Supersteps != rbase.Supersteps {
+					t.Fatalf("%s: %d supersteps, dense ran %d", c.name, r.Supersteps, rbase.Supersteps)
+				}
+				if c.path == CommsMap && r.Net != rbase.Net {
+					t.Fatalf("map stats diverge from dense:\n%+v\n%+v", r.Net, rbase.Net)
+				}
+			}
+		})
+	}
+}
+
+// TestHashMinCCBitwiseAcrossCommsPaths: same contract for an int-min program.
+func TestHashMinCCBitwiseAcrossCommsPaths(t *testing.T) {
+	g := gen.BarabasiAlbert(400, 2, 11)
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			base, rbase, err := HashMinCC(g, Config{Workers: workers, Comms: CommsDense})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range allComms[1:] {
+				got, r, err := HashMinCC(g, Config{Workers: workers, Comms: c.path})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range base {
+					if got[v] != base[v] {
+						t.Fatalf("%s: label[%d] = %d, dense says %d", c.name, v, got[v], base[v])
+					}
+				}
+				if c.path == CommsMap && r.Net != rbase.Net {
+					t.Fatalf("map stats diverge from dense:\n%+v\n%+v", r.Net, rbase.Net)
+				}
+			}
+		})
+	}
+}
+
+// uncombined strips the combiner off a program, forcing every raw message
+// onto the wire and through the demux.
+func uncombined[S, M any](p Program[S, M]) Program[S, M] {
+	p.Combine = nil
+	p.CombineKey = nil
+	return p
+}
+
+// pageRankProg mirrors PageRank's program so the tests can strip its
+// combiner; keep in sync with algorithms.go.
+func pageRankProg(n float64, iters int) Program[float64, float64] {
+	const d = 0.85
+	return Program[float64, float64]{
+		Init: func(_ *graph.Graph, _ graph.V) float64 { return 1 / n },
+		Compute: func(ctx *Context[float64], v graph.V, state *float64, msgs []float64) {
+			if ctx.Superstep() > 0 {
+				sum := 0.0
+				for _, m := range msgs {
+					sum += m
+				}
+				*state = (1-d)/n + d*sum
+			}
+			if ctx.Superstep() < iters {
+				if deg := ctx.Graph().Degree(v); deg > 0 {
+					ctx.SendToNeighbors(v, *state/float64(deg))
+				}
+			} else {
+				ctx.VoteToHalt()
+			}
+		},
+		Combine: func(a, b float64) float64 { return a + b },
+	}
+}
+
+// hashMinProg mirrors HashMinCC's program; keep in sync with algorithms.go.
+func hashMinProg() Program[int32, int32] {
+	return Program[int32, int32]{
+		Init: func(_ *graph.Graph, v graph.V) int32 { return int32(v) },
+		Compute: func(ctx *Context[int32], v graph.V, state *int32, msgs []int32) {
+			min := *state
+			if ctx.Superstep() == 0 {
+				ctx.SendToNeighbors(v, min)
+				ctx.VoteToHalt()
+				return
+			}
+			for _, m := range msgs {
+				if m < min {
+					min = m
+				}
+			}
+			if min < *state {
+				*state = min
+				ctx.SendToNeighbors(v, min)
+			}
+			ctx.VoteToHalt()
+		},
+		Combine: func(a, b int32) int32 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+	}
+}
+
+// TestNoCombinerEquivalence: with the combiner stripped, the staged and
+// legacy substrates still deliver messages in the identical order (ascending
+// sender rank, send order within a sender — the legacy path recovers it by
+// receiver-side sorting), so even float-summing programs stay bitwise equal
+// across paths. For the order-insensitive HashMinCC min-fold, the uncombined
+// answer must also equal the combined one exactly; for PageRank the combined
+// fold has a different float grouping, so it is compared within an epsilon.
+func TestNoCombinerEquivalence(t *testing.T) {
+	g := gen.RMAT(9, 6, 7)
+	n := float64(g.NumVertices())
+	const iters = 10
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			run := func(p CommsPath) []float64 {
+				res, err := Run(g, uncombined(pageRankProg(n, iters)), Config{Workers: workers, Comms: p})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.States
+			}
+			base := run(CommsDense)
+			for _, c := range allComms[1:] {
+				got := run(c.path)
+				for v := range base {
+					if got[v] != base[v] {
+						t.Fatalf("uncombined pagerank, %s: rank[%d] = %v, dense says %v", c.name, v, got[v], base[v])
+					}
+				}
+			}
+			combined, _, err := PageRank(g, iters, Config{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range base {
+				if math.Abs(combined[v]-base[v]) > 1e-12 {
+					t.Fatalf("combined rank[%d] = %v, uncombined %v — beyond reassociation noise", v, combined[v], base[v])
+				}
+			}
+
+			ccRes, err := Run(g, uncombined(hashMinProg()), Config{Workers: workers, MaxSupersteps: 100000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ccCombined, _, err := HashMinCC(g, Config{Workers: workers, MaxSupersteps: 100000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range allComms[1:] {
+				got, err := Run(g, uncombined(hashMinProg()), Config{Workers: workers, MaxSupersteps: 100000, Comms: c.path})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for v := range ccRes.States {
+					if got.States[v] != ccRes.States[v] {
+						t.Fatalf("uncombined cc, %s: label[%d] differs from dense", c.name, v)
+					}
+				}
+			}
+			for v := range ccRes.States {
+				if ccRes.States[v] != ccCombined[v] {
+					t.Fatalf("uncombined cc label[%d] = %d, combined %d — min-fold must be order-insensitive", v, ccRes.States[v], ccCombined[v])
+				}
+			}
+		})
+	}
+}
+
+// TestSteadyStateAllocsPerRound: a steady-state PageRank superstep on the
+// dense path must allocate (almost) nothing. Measured differentially — two
+// runs on the same graph differing only in superstep count — so setup costs
+// (graph, buffers, gang) cancel and only the per-round increment remains.
+func TestSteadyStateAllocsPerRound(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the hot path")
+	}
+	g := gen.RMAT(9, 8, 5)
+	run := func(iters int) {
+		if _, _, err := PageRank(g, iters, Config{Workers: 4}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const short, long = 10, 60
+	aShort := testing.AllocsPerRun(3, func() { run(short) })
+	aLong := testing.AllocsPerRun(3, func() { run(long) })
+	perRound := (aLong - aShort) / float64(long-short)
+	if math.IsNaN(perRound) || perRound > 2 {
+		t.Fatalf("steady-state supersteps allocate %.2f allocs/round, want ≤ 2 (short=%v long=%v)", perRound, aShort, aLong)
+	}
+	t.Logf("steady-state PageRank: %.3f allocs/round", perRound)
+}

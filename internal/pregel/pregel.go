@@ -36,11 +36,41 @@ type Config struct {
 	CheckpointEvery int
 	StateBytes      int64
 
+	// Comms selects the engine's communication path. The zero value
+	// CommsDense is the production path; the others exist as benchmark
+	// baselines and equivalence oracles (cmd/benchengine). All three paths
+	// produce bitwise-identical results; CommsDense and CommsMap also
+	// produce identical network Stats.
+	Comms CommsPath
+
 	// RunOptions is the cross-cutting runtime configuration shared by every
 	// engine: Trace (observability opt-in), Topology (link costs), Faults
 	// (crash/straggler/lossy-link injection).
 	cluster.RunOptions
 }
+
+// CommsPath selects the mailbox substrate and combiner addressing mode for a
+// run (DESIGN.md §3.12).
+type CommsPath int
+
+const (
+	// CommsDense (the default) runs on the staged substrate with the
+	// combiner addressed by a dense []int32 slot table over destination-local
+	// vertex ids — one array load per Send instead of a hash + map lookup.
+	// Programs whose combining key space is not the destination vertex alone
+	// (CombineKey != nil, e.g. quegel's per-query frontiers) fall back to
+	// CommsMap addressing automatically.
+	CommsDense CommsPath = iota
+	// CommsMap runs on the staged substrate with the combiner addressed by a
+	// per-destination hash map (the PR 4 path). Kept as the dominance
+	// baseline for the dense path.
+	CommsMap
+	// CommsLegacy runs on the seed's per-message locked mailboxes with no
+	// substrate combiner; the inbox is normalized receiver-side (stable sort
+	// by sender rank + per-sender-run combining) so results stay bitwise
+	// identical to the staged paths. Baseline and equivalence oracle only.
+	CommsLegacy
+)
 
 func (c *Config) defaults(n int) {
 	if c.Workers <= 0 {
@@ -105,7 +135,8 @@ type Context[M any] struct {
 	superstep int
 	halted    bool // set per vertex via VoteToHalt; reset by engine
 
-	out       *cluster.Outbox[vmsg[M]]
+	out       *cluster.Outbox[vmsg[M]]    // staged substrate handle (nil on CommsLegacy)
+	lmb       *cluster.Mailboxes[vmsg[M]] // legacy substrate handle (nil on staged paths)
 	partition []int
 
 	aggLocal map[string]float64
@@ -113,7 +144,10 @@ type Context[M any] struct {
 
 type vmsg[M any] struct {
 	to graph.V
-	m  M
+	// sending worker rank; only the legacy oracle reads it, to recover the
+	// staged substrate's deterministic sender-rank inbox order receiver-side
+	sender int32
+	m      M
 }
 
 type engineIface[M any] interface {
@@ -128,9 +162,15 @@ func (c *Context[M]) Graph() *graph.Graph { return c.g }
 
 // Send sends m to vertex to, delivered at the next superstep. The message
 // goes straight into the sending worker's staging outbox — a lock-free
-// append, combined on the fly when the program has a combiner.
+// append, combined on the fly when the program has a combiner (one slot-table
+// load on the dense path, one map lookup on the map path).
 func (c *Context[M]) Send(to graph.V, m M) {
-	c.out.Send(c.partition[to], vmsg[M]{to, m})
+	vm := vmsg[M]{to: to, sender: int32(c.worker), m: m}
+	if c.out != nil {
+		c.out.Send(c.partition[to], vm)
+		return
+	}
+	c.lmb.Send(c.worker, c.partition[to], vm)
 }
 
 // SendToNeighbors sends m to every neighbor of v.
@@ -186,35 +226,93 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 	states := make([]S, n)
 	active := make([]bool, n)
 	owned := make([][]graph.V, cfg.Workers)
+	localIdx := make([]int32, n) // global vertex → owner-local dense id
 	for v := 0; v < n; v++ {
-		owned[cfg.Partition[v]] = append(owned[cfg.Partition[v]], graph.V(v))
-		active[v] = true
+		p := cfg.Partition[v]
+		localIdx[v] = int32(len(owned[p]))
+		owned[p] = append(owned[p], graph.V(v))
 	}
-	c.Run(func(w int) {
+	// per-worker active-vertex counters, maintained at halt/reactivate time so
+	// the per-superstep liveness check is O(workers), not O(n)
+	activeCnt := make([]int64, cfg.Workers)
+
+	// per-vertex message views into the delivery's flat buffers (only the
+	// owner worker touches an entry)
+	msgs := make([][]M, n)
+
+	legacy := cfg.Comms == CommsLegacy
+	sizeFn := func(vmsg[M]) int64 { return cfg.MsgBytes }
+	var mb *cluster.Mailboxes[vmsg[M]]
+	if legacy {
+		mb = cluster.NewMailboxesLegacy[vmsg[M]](net, sizeFn)
+	} else {
+		mb = cluster.NewMailboxes[vmsg[M]](net, sizeFn)
+	}
+	// combining key: destination vertex, refined by CombineKey when set. The
+	// staged map path uses it sender-side; the legacy oracle uses it for
+	// receiver-side normalization.
+	key := func(vm vmsg[M]) int64 { return int64(vm.to) << 32 }
+	if prog.CombineKey != nil {
+		key = func(vm vmsg[M]) int64 {
+			return int64(vm.to)<<32 | int64(uint32(prog.CombineKey(vm.m)))
+		}
+	}
+	if prog.Combine != nil && !legacy {
+		// hoist the program's combiner into the substrate, combining inside
+		// the sender's staging buffer before anything reaches the wire
+		combine := func(a, b vmsg[M]) vmsg[M] {
+			return vmsg[M]{to: a.to, sender: a.sender, m: prog.Combine(a.m, b.m)}
+		}
+		if cfg.Comms == CommsDense && prog.CombineKey == nil {
+			// dense path: combining classes are exactly the destination
+			// vertices, so address them by owner-local dense id
+			mb.SetDenseCombiner(
+				func(dest int) int { return len(owned[dest]) },
+				func(vm vmsg[M]) int { return int(localIdx[vm.to]) },
+				combine,
+			)
+		} else {
+			mb.SetCombiner(key, combine)
+		}
+	}
+	dlv := newDelivery[M](owned, localIdx, legacy)
+
+	// one long-lived Context per worker; superstep/halted are rewritten each
+	// round and the aggregator map is cleared (never reallocated) after merge
+	ctxs := make([]*Context[M], cfg.Workers)
+	aggLocals := make([]map[string]float64, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		ctx := &Context[M]{
+			eng: eng, g: g, worker: w,
+			partition: cfg.Partition,
+			aggLocal:  map[string]float64{},
+		}
+		if legacy {
+			ctx.lmb = mb
+		} else {
+			ctx.out = mb.Outbox(w)
+		}
+		ctxs[w] = ctx
+		aggLocals[w] = ctx.aggLocal
+	}
+
+	// the persistent gang replaces per-phase goroutine spawning: the phase
+	// closures below are created once and reused every round, so dispatching
+	// a superstep allocates nothing
+	gang := c.NewGang()
+	defer gang.Close()
+
+	initPhase := func(w int) {
 		for _, v := range owned[w] {
 			if prog.Init != nil {
 				states[v] = prog.Init(g, v)
 			}
+			active[v] = true
+			msgs[v] = nil
 		}
-	})
-
-	mb := cluster.NewMailboxes[vmsg[M]](net, func(vmsg[M]) int64 { return cfg.MsgBytes })
-	if prog.Combine != nil {
-		// hoist the program's combiner into the substrate: combine messages
-		// with the same destination vertex (refined by CombineKey when set)
-		// inside the sender's staging buffer
-		key := func(vm vmsg[M]) int64 { return int64(vm.to) << 32 }
-		if prog.CombineKey != nil {
-			key = func(vm vmsg[M]) int64 {
-				return int64(vm.to)<<32 | int64(uint32(prog.CombineKey(vm.m)))
-			}
-		}
-		mb.SetCombiner(key, func(a, b vmsg[M]) vmsg[M] {
-			return vmsg[M]{a.to, prog.Combine(a.m, b.m)}
-		})
+		activeCnt[w] = int64(len(owned[w]))
 	}
-	// per-vertex message buffers (only the owner worker touches an entry)
-	msgs := make([][]M, n)
+	gang.Run(initPhase)
 
 	if cfg.StateBytes <= 0 {
 		cfg.StateBytes = 8
@@ -245,8 +343,49 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 		fi.NoteCheckpoint(bytes)
 	}
 
+	// the two hot-path phases, created once and reused every round; `step`
+	// is published to the workers through the gang's mutex handoff
+	step := 0
+	computePhase := func(w int) {
+		ctx := ctxs[w]
+		ctx.superstep = step
+		cnt := activeCnt[w]
+		for _, v := range owned[w] {
+			if !active[v] {
+				continue
+			}
+			ctx.halted = false
+			prog.Compute(ctx, v, &states[v], msgs[v])
+			// msgs[v] is a view into the delivery's flat buffer — drop it so
+			// the buffer can be recycled next round
+			msgs[v] = nil
+			if ctx.halted {
+				active[v] = false
+				cnt--
+			}
+		}
+		// outgoing messages are already staged in the worker's outbox;
+		// Exchange at the barrier meters and delivers them. Aggregator
+		// contributions land in the worker's own map — merging happens after
+		// the barrier, in worker-rank order, so float sums are bitwise
+		// identical run to run (merging under a mutex here would add in
+		// worker-completion order, i.e. scheduling order).
+		activeCnt[w] = cnt
+	}
+	demuxPhase := func(w int) {
+		stream := mb.Receive(w)
+		if legacy {
+			stream = dlv.normalizeLegacy(w, cfg.Workers, stream, key, prog.Combine)
+		}
+		activeCnt[w] += dlv.scatter(w, stream, msgs, active)
+	}
+
+	// aggNext and eng.agg are two maps swapped every round: merge into the
+	// spare, publish it under the lock, clear the stale one for next round
+	aggNext := map[string]float64{}
+
 	steps := 0
-	for step := 0; step < cfg.MaxSupersteps; step++ {
+	for step = 0; step < cfg.MaxSupersteps; step++ {
 		if cfg.CheckpointEvery > 0 && step%cfg.CheckpointEvery == 0 {
 			takeCheckpoint(step)
 		}
@@ -258,7 +397,23 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 				copy(states, ckpt.states)
 				copy(active, ckpt.active)
 				for v := range msgs {
-					msgs[v] = append(msgs[v][:0], ckpt.msgs[v]...)
+					// the snapshot's buffers are copied out, not aliased: the
+					// flat delivery buffers still hold failed-epoch data and
+					// will be recycled on the next demux
+					if len(ckpt.msgs[v]) == 0 {
+						msgs[v] = nil
+					} else {
+						msgs[v] = append([]M(nil), ckpt.msgs[v]...)
+					}
+				}
+				for w := range owned {
+					var cnt int64
+					for _, v := range owned[w] {
+						if active[v] {
+							cnt++
+						}
+					}
+					activeCnt[w] = cnt
 				}
 				recovered = step - ckpt.step
 				mb.Exchange() // drop in-flight messages from the failed epoch
@@ -266,91 +421,50 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 			} else {
 				// no checkpoint: full restart
 				recovered = step
-				c.Run(func(w int) {
-					for _, v := range owned[w] {
-						if prog.Init != nil {
-							states[v] = prog.Init(g, v)
-						}
-						active[v] = true
-						msgs[v] = msgs[v][:0]
-					}
-				})
+				gang.Run(initPhase)
 				mb.Exchange()
 				step = 0
 			}
 			fi.NoteRecovery(recovered, float64(recovered))
 		}
 		steps = step + 1
-		var anyActive bool
-		for _, a := range active {
-			if a {
-				anyActive = true
-				break
-			}
+		var totalActive int64
+		for _, a := range activeCnt {
+			totalActive += a
 		}
-		if !anyActive {
+		if totalActive == 0 {
 			steps = step
 			break
 		}
-		aggLocals := make([]map[string]float64, cfg.Workers)
-		c.Run(func(w int) {
-			ctx := &Context[M]{
-				eng: eng, g: g, worker: w, superstep: step,
-				out:       mb.Outbox(w),
-				partition: cfg.Partition,
-				aggLocal:  map[string]float64{},
-			}
-			for _, v := range owned[w] {
-				if !active[v] {
-					continue
-				}
-				ctx.halted = false
-				prog.Compute(ctx, v, &states[v], msgs[v])
-				msgs[v] = msgs[v][:0]
-				if ctx.halted {
-					active[v] = false
-				}
-			}
-			// outgoing messages are already staged in the worker's outbox;
-			// Exchange at the barrier meters and delivers them. Aggregator
-			// contributions land in the worker's own slot — merging happens
-			// after the barrier, in worker-rank order, so float sums are
-			// bitwise identical run to run (merging under a mutex here would
-			// add in worker-completion order, i.e. scheduling order).
-			aggLocals[w] = ctx.aggLocal
-		})
+		gang.Run(computePhase)
 		delivered := mb.Exchange()
-		aggNext := map[string]float64{}
 		for _, local := range aggLocals { // ascending worker rank
+			if len(local) == 0 {
+				continue
+			}
 			for _, k := range det.SortedKeys(local) {
 				aggNext[k] += local[k]
 			}
+			clear(local)
 		}
 		eng.mu.Lock()
-		eng.agg = aggNext
+		eng.agg, aggNext = aggNext, eng.agg
 		eng.mu.Unlock()
+		clear(aggNext) // last round's published values, now stale
 		if delivered == 0 {
 			// no messages: if nothing re-activates, engine can stop after
 			// letting still-active vertices run next loop iteration
-			stillActive := false
-			for _, a := range active {
-				if a {
-					stillActive = true
-					break
-				}
+			var stillActive int64
+			for _, a := range activeCnt {
+				stillActive += a
 			}
-			if !stillActive {
+			if stillActive == 0 {
 				break
 			}
 			continue
 		}
-		// demux to per-vertex buffers and reactivate recipients
-		c.Run(func(w int) {
-			for _, vm := range mb.Receive(w) {
-				msgs[vm.to] = append(msgs[vm.to], vm.m)
-				active[vm.to] = true
-			}
-		})
+		// demux into the columnar per-worker buffers and reactivate recipients
+		gang.Run(demuxPhase)
 	}
 	res := &Result[S]{
 		States: states, Supersteps: steps, Net: net.Stats(),

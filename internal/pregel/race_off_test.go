@@ -1,0 +1,6 @@
+//go:build !race
+
+package pregel
+
+// raceEnabled lets allocation-sensitive tests skip under the race detector.
+const raceEnabled = false
