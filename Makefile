@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint verify bench bench-kernels bench-comms bench-serving bench-engine bench-smoke bench-check
+.PHONY: build test race vet lint verify bench bench-kernels bench-comms bench-serving bench-engine bench-storage bench-smoke bench-check
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,16 @@ bench-engine:
 	$(GO) test -bench 'GangDispatch|SendDenseCombiner|SendMapCombiner' -benchmem -run '^$$' ./internal/cluster/
 	$(GO) run ./cmd/benchengine -out BENCH_engine.json
 
+# Out-of-core storage benchmark: compression ratio, the cache-size sweep
+# (hit ratio + cached-vs-in-memory throughput for PageRank and a sampled-GNN
+# epoch, LRU and MRU), and the capacity run — PageRank + GNN minibatches on a
+# 100M+-edge streaming-built R-MAT under a budget ~15% of the raw CSR. The
+# command refuses to write a report if the disk-backed source diverges bitwise
+# from the in-memory oracle. The full run builds the capacity graph: minutes.
+bench-storage:
+	$(GO) test -bench 'Storage|Codec|Cache' -benchmem -run '^$$' ./internal/storage/
+	$(GO) run ./cmd/benchstorage -out BENCH_storage.json
+
 # Quick pass of the kernel, comms, serving and engine reports (few
 # iterations; the serving sweep is deterministic so its smoke run IS the full
 # sweep). Writes to scratch paths (gitignored) so it never clobbers the
@@ -69,6 +79,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchcomms -smoke -out BENCH_comms.smoke.json
 	$(GO) run ./cmd/benchserving -smoke -out BENCH_serving.smoke.json
 	$(GO) run ./cmd/benchengine -smoke -out BENCH_engine.smoke.json
+	$(GO) run ./cmd/benchstorage -smoke -out BENCH_storage.smoke.json
 
 # Regression gate: compare the fresh smoke reports against the committed
 # BENCH_*.json baselines via the typed hypotheses in internal/hypo. Fails
@@ -78,6 +89,10 @@ bench-smoke:
 # BENCH_serving.json (deterministic simulation ⇒ exact equality), dense
 # engine supersteps allocating (>2 allocs/round), or the dense path losing
 # its rounds/sec dominance over the map (≥1.3× at 8 workers) or legacy
-# paths. Artifacts land in hypo_runs/bench-check/.
+# paths. The storage gates add: disk/mem result divergence, compression
+# dropping below 1.5×, any sweep cell's hit ratio falling outside the band
+# vs the committed baseline, the largest-budget cells losing the in-memory
+# throughput floor, or the committed capacity run no longer proving the
+# 100M-edge-under-budget claim. Artifacts land in hypo_runs/bench-check/.
 bench-check: bench-smoke
 	$(GO) run ./cmd/benchcheck

@@ -36,6 +36,8 @@ func run(args []string, stdout, stderr interface {
 		servingBL = fs.String("serving-baseline", "BENCH_serving.json", "committed serving baseline")
 		engine    = fs.String("engine", "BENCH_engine.smoke.json", "fresh engine report (from make bench-smoke)")
 		engineBL  = fs.String("engine-baseline", "BENCH_engine.json", "committed engine baseline")
+		stor      = fs.String("storage", "BENCH_storage.smoke.json", "fresh storage report (from make bench-smoke)")
+		storBL    = fs.String("storage-baseline", "BENCH_storage.json", "committed storage baseline")
 		artifacts = fs.String("artifacts", "hypo_runs/bench-check", "per-run artifact folder (results.json + results.csv); empty to skip")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,11 +84,22 @@ func run(args []string, stdout, stderr interface {
 		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
 		return 2
 	}
+	fst, err := hypo.ReadStorageReport(*stor)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v (run `make bench-smoke` first)\n", err)
+		return 2
+	}
+	bst, err := hypo.ReadStorageReport(*storBL)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchcheck: %v\n", err)
+		return 2
+	}
 
 	cfg := hypo.DefaultGateConfig()
 	gates := hypo.BenchGates(fk, bk, fc, bc, cfg)
 	gates = append(gates, hypo.ServingGates(fsv, bsv, cfg)...)
 	gates = append(gates, hypo.EngineGates(fe, be, cfg)...)
+	gates = append(gates, hypo.StorageGates(fst, bst, cfg)...)
 	rep := hypo.Run("bench-check", gates)
 	rep.Fprint(stdout)
 	if *artifacts != "" {

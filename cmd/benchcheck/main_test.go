@@ -82,6 +82,37 @@ func servingFixture(t *testing.T) *hypo.ServingReport {
 	return rep
 }
 
+// storageFixture is a healthy BENCH_storage.json: good compression, a rising
+// hit-ratio curve, largest-budget cells well over the throughput floor, and a
+// completed 100M+-edge capacity run under 15% of the raw CSR.
+func storageFixture() *hypo.StorageReport {
+	return &hypo.StorageReport{
+		GeneratedBy: "cmd/benchstorage", GOMAXPROCS: 1,
+		Scale: 16, EdgeFactor: 8, Vertices: 1 << 16, Arcs: 1 << 20,
+		FileBytes: 1 << 20, RawCSRBytes: 5 << 20, CompressionRatio: 2.5,
+		Rows: []hypo.StorageRow{
+			{Workload: "pagerank", Evict: "mru", BudgetFrac: 0.05, BudgetBytes: 5 << 15, HitRatio: 0.98, BytesRead: 8 << 20, NsPerOp: 5e6, RelThroughput: 0.5},
+			{Workload: "pagerank", Evict: "mru", BudgetFrac: 1.00, BudgetBytes: 5 << 20, HitRatio: 1.0, BytesRead: 1 << 20, NsPerOp: 3e6, RelThroughput: 0.9},
+			{Workload: "gnn-epoch", Evict: "lru", BudgetFrac: 0.05, BudgetBytes: 5 << 15, HitRatio: 0.05, BytesRead: 300 << 20, NsPerOp: 2e9, RelThroughput: 0.2},
+			{Workload: "gnn-epoch", Evict: "lru", BudgetFrac: 1.00, BudgetBytes: 5 << 20, HitRatio: 0.99, BytesRead: 1 << 20, NsPerOp: 6e8, RelThroughput: 0.75},
+		},
+		Capacity: &hypo.StorageCapacity{
+			Scale: 22, EdgeFactor: 30, Vertices: 1 << 22, Edges: 110e6, Arcs: 220e6,
+			FileBytes: 400 << 20, RawCSRBytes: 900 << 20, BudgetBytes: 135 << 20, BudgetFrac: 0.15,
+			Supersteps: 3, GNNBatches: 50, HitRatio: 0.9, BytesRead: 2 << 30, Completed: true,
+		},
+		Check: map[string]any{"identical": true},
+	}
+}
+
+// writeStorageFixtures writes a healthy storage fresh/baseline pair.
+func writeStorageFixtures(t *testing.T, dir string) {
+	t.Helper()
+	st := storageFixture()
+	writeJSON(t, filepath.Join(dir, "st.smoke.json"), st)
+	writeJSON(t, filepath.Join(dir, "st.json"), st)
+}
+
 func runWith(t *testing.T, dir string) (int, string) {
 	t.Helper()
 	var out, errb strings.Builder
@@ -94,6 +125,8 @@ func runWith(t *testing.T, dir string) (int, string) {
 		"-serving-baseline", filepath.Join(dir, "s.json"),
 		"-engine", filepath.Join(dir, "e.smoke.json"),
 		"-engine-baseline", filepath.Join(dir, "e.json"),
+		"-storage", filepath.Join(dir, "st.smoke.json"),
+		"-storage-baseline", filepath.Join(dir, "st.json"),
 		"-artifacts", filepath.Join(dir, "hypo_runs", "bench-check"),
 	}, &out, &errb)
 	return code, out.String() + errb.String()
@@ -111,6 +144,7 @@ func TestExitZeroOnHealthyRun(t *testing.T) {
 	eng := engineFixture()
 	writeJSON(t, filepath.Join(dir, "e.smoke.json"), eng)
 	writeJSON(t, filepath.Join(dir, "e.json"), eng)
+	writeStorageFixtures(t, dir)
 	code, out := runWith(t, dir)
 	if code != 0 {
 		t.Fatalf("exit = %d, want 0\n%s", code, out)
@@ -142,6 +176,7 @@ func TestExitNonZeroOnInjectedRegression(t *testing.T) {
 	eng := engineFixture()
 	writeJSON(t, filepath.Join(dir, "e.smoke.json"), eng)
 	writeJSON(t, filepath.Join(dir, "e.json"), eng)
+	writeStorageFixtures(t, dir)
 	code, out := runWith(t, dir)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 on injected regression\n%s", code, out)
@@ -168,6 +203,7 @@ func TestExitNonZeroOnServingLatencyRegression(t *testing.T) {
 	eng := engineFixture()
 	writeJSON(t, filepath.Join(dir, "e.smoke.json"), eng)
 	writeJSON(t, filepath.Join(dir, "e.json"), eng)
+	writeStorageFixtures(t, dir)
 	code, out := runWith(t, dir)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 on injected serving regression\n%s", code, out)
@@ -197,6 +233,7 @@ func TestExitNonZeroOnEngineAllocsRegression(t *testing.T) {
 		}
 	}
 	writeJSON(t, filepath.Join(dir, "e.smoke.json"), bad)
+	writeStorageFixtures(t, dir)
 	code, out := runWith(t, dir)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 on injected engine allocs regression\n%s", code, out)
@@ -227,12 +264,46 @@ func TestExitNonZeroOnDenseDominanceRegression(t *testing.T) {
 		}
 	}
 	writeJSON(t, filepath.Join(dir, "e.smoke.json"), bad)
+	writeStorageFixtures(t, dir)
 	code, out := runWith(t, dir)
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 on injected dominance regression\n%s", code, out)
 	}
 	if !strings.Contains(out, "dense-dominates-map-at-8") || !strings.Contains(out, "FAIL") {
 		t.Fatalf("output does not name the failing dominance gate:\n%s", out)
+	}
+}
+
+// TestExitNonZeroOnStorageHitRatioRegression is the storage gate's negative
+// test: a fresh sweep whose cache hit ratio collapses below the committed
+// baseline (minus the band) — an eviction-policy or cache-accounting bug —
+// must drive exit 1 and name the storage-hit-ratio gate.
+func TestExitNonZeroOnStorageHitRatioRegression(t *testing.T) {
+	dir, fresh, baseline, comms := fixtures(t)
+	writeJSON(t, filepath.Join(dir, "k.smoke.json"), fresh)
+	writeJSON(t, filepath.Join(dir, "k.json"), baseline)
+	writeJSON(t, filepath.Join(dir, "c.smoke.json"), comms)
+	writeJSON(t, filepath.Join(dir, "c.json"), comms)
+	serving := servingFixture(t)
+	writeJSON(t, filepath.Join(dir, "s.smoke.json"), serving)
+	writeJSON(t, filepath.Join(dir, "s.json"), serving)
+	eng := engineFixture()
+	writeJSON(t, filepath.Join(dir, "e.smoke.json"), eng)
+	writeJSON(t, filepath.Join(dir, "e.json"), eng)
+	writeStorageFixtures(t, dir)
+	bad := storageFixture()
+	for i := range bad.Rows {
+		if bad.Rows[i].Workload == "gnn-epoch" && bad.Rows[i].BudgetFrac == 1.00 {
+			bad.Rows[i].HitRatio = 0.4 // baseline has 0.99: far outside the band
+		}
+	}
+	writeJSON(t, filepath.Join(dir, "st.smoke.json"), bad)
+	code, out := runWith(t, dir)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 on injected storage hit-ratio regression\n%s", code, out)
+	}
+	if !strings.Contains(out, "storage-hit-ratio") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("output does not name the failing storage gate:\n%s", out)
 	}
 }
 

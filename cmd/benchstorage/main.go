@@ -1,0 +1,479 @@
+// Command benchstorage measures the out-of-core storage layer and writes
+// BENCH_storage.json: the block file's compression ratio, a cache-size sweep
+// (hit ratio and throughput at several budgets, LRU and MRU) for a PageRank
+// full sweep and a sampled-GNN epoch, and — on full runs — the capacity
+// claim: PageRank plus sampled-GNN minibatches over a 100M+-edge R-MAT built
+// by the streaming writer, under a memory budget a small fraction of the raw
+// CSR.
+//
+// The sweep's access sequences are identical in smoke and full mode (only
+// the number of timing repetitions differs), so every cell's hit ratio is a
+// deterministic function of (graph, budget, policy) and the verify gate can
+// compare smoke cells against the committed baseline within a small band.
+// RelThroughput is cached-vs-in-memory measured in the same process — the
+// only cross-run-comparable timing figure.
+//
+// Before writing the report the command re-verifies, in-process, that the
+// disk-backed GraphSource is bit-equivalent to the in-memory oracle: a full
+// Scan against the CSR, PageRank ranks at workers 1 and 2, and a sampled-GNN
+// epoch's loss trajectory. It exits 1 on any divergence, so a report can
+// never gate on numbers from an inequivalent source.
+//
+//	go run ./cmd/benchstorage -out BENCH_storage.json        # full run (builds the capacity graph; minutes)
+//	go run ./cmd/benchstorage -smoke -out BENCH_storage.json # sweep only; verify gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"graphsys/internal/gnn"
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/hypo"
+	"graphsys/internal/nn"
+	"graphsys/internal/pregel"
+	"graphsys/internal/storage"
+	"graphsys/internal/tensor"
+)
+
+// Sweep workload shape — identical in smoke and full mode so hit ratios are
+// comparable against the committed baseline.
+const (
+	sweepScale = 16
+	sweepEF    = 8
+	sweepSeed  = 42
+
+	prIters = 6
+
+	gnnBatches   = 24
+	gnnBatchSize = 32
+	gnnSeed      = 99
+	gnnInDim     = 16
+	gnnClasses   = 4
+)
+
+var (
+	gnnFanouts = []int{10, 10}
+	gnnDims    = []int{gnnInDim, 16, gnnClasses}
+	// cache budget as a fraction of the raw CSR footprint (on top of the
+	// resident degree table + block index)
+	budgetFracs = []float64{0.05, 0.15, 0.40, 1.00}
+)
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchstorage: %v\n", err)
+	os.Exit(1)
+}
+
+// openProv opens a fresh cached provider over the sweep file at the given
+// cache fraction. Each measurement uses its own provider so the hit/miss
+// counters are a function of that run's access sequence alone.
+func openProv(info *storage.Info, frac float64, workers int, pol storage.EvictPolicy) *storage.CachedProvider {
+	budget := info.ResidentBytes + int64(frac*float64(info.RawCSRBytes))
+	prov, err := storage.OpenCached(info.Path, budget, workers, pol)
+	if err != nil {
+		fatal(err)
+	}
+	return prov
+}
+
+// runPageRank runs the fixed PageRank workload: in-memory when prov is nil,
+// through the disk-backed source otherwise.
+func runPageRank(g *graph.Graph, prov *storage.CachedProvider) []float64 {
+	cfg := pregel.Config{Workers: 1}
+	var ranks []float64
+	var err error
+	if prov != nil {
+		cfg.Source = prov
+		ranks, _, err = pregel.PageRank(nil, prIters, cfg)
+	} else {
+		ranks, _, err = pregel.PageRank(g, prIters, cfg)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return ranks
+}
+
+// splitmix is the deterministic per-vertex hash behind the synthetic GNN
+// features and labels — no feature matrix is ever materialized for the full
+// graph, which is what lets the capacity run label a 4M-vertex graph for free.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func vertexFeature(v graph.V, j int) float32 {
+	h := splitmix(uint64(v)*0x100000001b3 + uint64(j))
+	return float32(h>>40) / float32(1<<24)
+}
+
+func vertexLabel(v graph.V) int {
+	return int(splitmix(uint64(v)^0xdeadbeef) % gnnClasses)
+}
+
+// gnnBatch samples one minibatch (from the in-memory graph or a source
+// handle), builds its features and labels deterministically from vertex ids,
+// and takes one forward/backward/Adam step on a per-batch model. Returns the
+// batch loss.
+func gnnBatch(g *graph.Graph, src storage.GraphSource, seeds []graph.V, rng *rand.Rand) float64 {
+	var sub *gnn.SampledSubgraph
+	if src != nil {
+		var err error
+		sub, err = gnn.NeighborSampleSource(src, seeds, gnnFanouts, rng)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		sub = gnn.NeighborSample(g, seeds, gnnFanouts, rng)
+	}
+	nv := len(sub.NewToOld)
+	x := tensor.New(nv, gnnInDim)
+	labels := make([]int, nv)
+	for i, old := range sub.NewToOld {
+		for j := 0; j < gnnInDim; j++ {
+			x.Set(i, j, vertexFeature(old, j))
+		}
+		labels[i] = -1 // only seed rows contribute to the loss
+		if i < len(seeds) {
+			labels[i] = vertexLabel(old)
+		}
+	}
+	m := gnn.NewModel(sub.Graph, gnn.GCN, gnnDims, 7)
+	logits := m.Forward(x)
+	loss, dLogits := nn.SoftmaxCrossEntropy(logits, labels)
+	m.Backward(dLogits)
+	nn.NewAdam(0.01).Step(m.Params())
+	return loss
+}
+
+// runGNNEpoch runs the fixed sampled-GNN epoch: batches of batchSize seeds
+// drawn from a seeded rng, each trained one step. Returns the summed loss
+// (the bitwise equivalence signal).
+func runGNNEpoch(g *graph.Graph, src storage.GraphSource, n, batches, batchSize int) float64 {
+	rng := rand.New(rand.NewSource(gnnSeed))
+	seeds := make([]graph.V, batchSize)
+	var total float64
+	for b := 0; b < batches; b++ {
+		for i := range seeds {
+			seeds[i] = graph.V(rng.Intn(n))
+		}
+		total += gnnBatch(g, src, seeds, rng)
+	}
+	return total
+}
+
+// timeIt returns ns per call of f under the configured benchtime.
+func timeIt(f func()) int64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f()
+		}
+	})
+	return r.NsPerOp()
+}
+
+// measureCell produces one sweep row: hit ratio and bytes read from a
+// dedicated stats run (fresh provider, deterministic), timing from benchmark
+// runs that recreate the provider per iteration (cold cache, honest).
+func measureCell(g *graph.Graph, info *storage.Info, workload string, pol storage.EvictPolicy, frac float64, memNs int64) hypo.StorageRow {
+	run := func(prov *storage.CachedProvider) {
+		switch workload {
+		case "pagerank":
+			runPageRank(nil, prov)
+		case "gnn-epoch":
+			runGNNEpoch(nil, prov.Handle(0), info.NumVertices, gnnBatches, gnnBatchSize)
+		}
+	}
+	statsProv := openProv(info, frac, 1, pol)
+	run(statsProv)
+	st := statsProv.Stats()
+	budget := statsProv.Footprint().ResidentBytes + statsProv.Footprint().CacheBytes
+	if err := statsProv.Close(); err != nil {
+		fatal(err)
+	}
+
+	diskNs := timeIt(func() {
+		prov := openProv(info, frac, 1, pol)
+		run(prov)
+		if err := prov.Close(); err != nil {
+			fatal(err)
+		}
+	})
+	ops := int64(prIters)
+	if workload == "gnn-epoch" {
+		ops = 1
+	}
+	return hypo.StorageRow{
+		Workload:      workload,
+		Evict:         pol.String(),
+		BudgetFrac:    frac,
+		BudgetBytes:   budget,
+		HitRatio:      st.HitRatio(),
+		BytesRead:     st.BytesRead,
+		NsPerOp:       diskNs / ops,
+		RelThroughput: float64(memNs) / float64(diskNs),
+	}
+}
+
+// equivalenceCheck proves the disk source bit-equivalent to the in-memory
+// oracle on the sweep graph: full adjacency scan, PageRank ranks at workers
+// 1 and 2, and the sampled-GNN epoch's summed loss.
+func equivalenceCheck(g *graph.Graph, info *storage.Info) map[string]any {
+	identical := true
+	detail := ""
+	fail := func(format string, args ...any) {
+		if identical {
+			identical = false
+			detail = fmt.Sprintf(format, args...)
+		}
+	}
+
+	// decode equivalence: every vertex's adjacency, in order
+	scanProv := openProv(info, 1.0, 1, storage.LRU)
+	var next graph.V
+	var arcs int64
+	err := scanProv.Handle(0).Scan(func(u graph.V, adj []graph.V) error {
+		if u != next {
+			fail("scan order broke at vertex %d", u)
+		}
+		next++
+		want := g.Neighbors(u)
+		if len(adj) != len(want) {
+			fail("vertex %d: %d neighbors decoded, CSR has %d", u, len(adj), len(want))
+			return nil
+		}
+		for i := range adj {
+			if adj[i] != want[i] {
+				fail("vertex %d: neighbor[%d] decoded %d, CSR %d", u, i, adj[i], want[i])
+			}
+		}
+		arcs += int64(len(adj))
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if arcs != g.NumArcs() {
+		fail("scan visited %d arcs, CSR has %d", arcs, g.NumArcs())
+	}
+	scanProv.Close()
+
+	// PageRank ranks, bitwise, at 1 and 2 workers
+	for _, workers := range []int{1, 2} {
+		memRanks, _, err := pregel.PageRank(g, prIters, pregel.Config{Workers: workers})
+		if err != nil {
+			fatal(err)
+		}
+		prov := openProv(info, 0.15, workers, storage.MRU)
+		diskRanks, _, err := pregel.PageRank(nil, prIters, pregel.Config{Workers: workers, Source: prov})
+		if err != nil {
+			fatal(err)
+		}
+		prov.Close()
+		for v := range memRanks {
+			if math.Float64bits(memRanks[v]) != math.Float64bits(diskRanks[v]) {
+				fail("pagerank workers=%d vertex=%d: mem %v disk %v", workers, v, memRanks[v], diskRanks[v])
+				break
+			}
+		}
+	}
+
+	// sampled-GNN epoch: summed loss, bitwise
+	memLoss := runGNNEpoch(g, nil, info.NumVertices, gnnBatches, gnnBatchSize)
+	prov := openProv(info, 0.15, 1, storage.LRU)
+	diskLoss := runGNNEpoch(nil, prov.Handle(0), info.NumVertices, gnnBatches, gnnBatchSize)
+	prov.Close()
+	if math.Float64bits(memLoss) != math.Float64bits(diskLoss) {
+		fail("gnn epoch loss: mem %v disk %v", memLoss, diskLoss)
+	}
+
+	return map[string]any{
+		"identical": identical,
+		"detail":    detail,
+		"scope": fmt.Sprintf("full scan vs CSR (%d arcs), pagerank ranks bitwise at workers 1/2, "+
+			"sampled-GNN epoch loss bitwise (%d batches)", arcs, gnnBatches),
+	}
+}
+
+// runCapacity builds the 100M+-edge R-MAT with the streaming writer (no
+// in-memory graph is ever materialized), then runs budgeted PageRank and a
+// sampled-GNN batch run against it.
+func runCapacity(dir string, scale, ef int, budgetFrac float64) *hypo.StorageCapacity {
+	path := filepath.Join(dir, "capacity.gsb")
+	fmt.Fprintf(os.Stderr, "benchstorage: building capacity graph RMAT(scale=%d, ef=%d) at %s ...\n", scale, ef, path)
+	n := 1 << scale
+	info, err := storage.WriteStream(path, n, false, func(emit func(u, v graph.V)) {
+		gen.RMATStream(scale, ef, sweepSeed, func(u, v graph.V) {
+			emit(u, v)
+			emit(v, u) // undirected: both arc directions, like graph.Builder
+		})
+	}, storage.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	defer os.Remove(path)
+	budget := int64(budgetFrac * float64(info.RawCSRBytes))
+	cap := &hypo.StorageCapacity{
+		Scale:       scale,
+		EdgeFactor:  ef,
+		Vertices:    info.NumVertices,
+		Edges:       info.NumArcs / 2,
+		Arcs:        info.NumArcs,
+		FileBytes:   info.FileBytes,
+		RawCSRBytes: info.RawCSRBytes,
+		BudgetBytes: budget,
+		BudgetFrac:  budgetFrac,
+	}
+	fmt.Fprintf(os.Stderr, "benchstorage: capacity graph: %d vertices, %d edges, file %d B, raw CSR %d B, budget %d B\n",
+		info.NumVertices, cap.Edges, info.FileBytes, info.RawCSRBytes, budget)
+
+	var st storage.IOStats
+
+	// PageRank: cyclic full sweeps -> MRU. Trace on, so the per-round disk
+	// I/O series lands in the obs trace — the capacity claim includes it.
+	const capPRIters = 3
+	prProv, err := storage.OpenCached(path, budget, 1, storage.MRU)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pregel.Config{Workers: 1, Source: prProv}
+	cfg.RunOptions.Trace = true
+	_, res, err := pregel.PageRank(nil, capPRIters, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	// capPRIters+1 supersteps execute: iters sweeps that send rank mass, then
+	// one final receive-and-halt round — the trace records one I/O row each.
+	if res.Trace == nil || res.Trace.Storage == nil || len(res.Trace.Storage.Rounds) != res.Supersteps {
+		fatal(fmt.Errorf("capacity pagerank: obs trace missing the per-round storage series"))
+	}
+	for _, r := range res.Trace.Storage.Rounds {
+		fmt.Fprintf(os.Stderr, "benchstorage: capacity pagerank round %d: %d blocks, %d B read, %d hits / %d misses\n",
+			r.Round, r.BlocksRead, r.BytesRead, r.Hits, r.Misses)
+	}
+	st = st.Add(prProv.Stats())
+	prProv.Close()
+	cap.Supersteps = res.Supersteps
+
+	// sampled-GNN minibatches: random access -> LRU
+	const capBatches, capBatchSize = 50, 64
+	gnnProv, err := storage.OpenCached(path, budget, 1, storage.LRU)
+	if err != nil {
+		fatal(err)
+	}
+	runGNNEpoch(nil, gnnProv.Handle(0), n, capBatches, capBatchSize)
+	st = st.Add(gnnProv.Stats())
+	gnnProv.Close()
+	cap.GNNBatches = capBatches
+	fmt.Fprintf(os.Stderr, "benchstorage: capacity gnn done (%d batches)\n", capBatches)
+
+	cap.HitRatio = st.HitRatio()
+	cap.BytesRead = st.BytesRead
+	cap.Completed = true
+	return cap
+}
+
+func main() {
+	out := flag.String("out", "BENCH_storage.json", "output path")
+	smoke := flag.Bool("smoke", false, "sweep only (no capacity graph), one timing rep; same access sequences as the full run, so hit ratios stay comparable")
+	capScale := flag.Int("capacity-scale", 22, "full runs: R-MAT scale of the capacity graph")
+	capEF := flag.Int("capacity-ef", 30, "full runs: R-MAT edge factor of the capacity graph")
+	capFrac := flag.Float64("capacity-budget-frac", 0.15, "full runs: capacity memory budget as a fraction of the raw CSR")
+	testing.Init()
+	flag.Parse()
+	benchtime := "2x"
+	if *smoke {
+		benchtime = "1x"
+	}
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "benchstorage-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	g := gen.RMAT(sweepScale, sweepEF, sweepSeed)
+	// 16K blocks: the smallest budget in the sweep must still hold one
+	// decoded block, and finer blocks give the hit-ratio curve resolution
+	info, err := storage.Write(filepath.Join(dir, "sweep.gsb"), g, storage.Options{BlockBytes: 1 << 14})
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := hypo.StorageReport{
+		GeneratedBy:      "cmd/benchstorage",
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Smoke:            *smoke,
+		Scale:            sweepScale,
+		EdgeFactor:       sweepEF,
+		Vertices:         info.NumVertices,
+		Arcs:             info.NumArcs,
+		FileBytes:        info.FileBytes,
+		RawCSRBytes:      info.RawCSRBytes,
+		CompressionRatio: info.CompressionRatio(),
+		Note: fmt.Sprintf("block-CSR sweep on RMAT(scale=%d, ef=%d): PageRank (%d supersteps, cyclic sweep) and a "+
+			"sampled-GNN epoch (%d batches x %d seeds, fanouts %v) through a bounded block cache at several "+
+			"budgets. budget_frac is the decoded-block cache as a fraction of the raw CSR, on top of the "+
+			"resident degree table + index. Hit ratios are deterministic (same access sequence in smoke and "+
+			"full runs); rel_throughput is disk/mem in one process. The capacity section is the full run's "+
+			"out-of-core headline: streaming-written R-MAT, budget far below the raw CSR.",
+			sweepScale, sweepEF, prIters, gnnBatches, gnnBatchSize, gnnFanouts),
+	}
+
+	memPRNs := timeIt(func() { runPageRank(g, nil) })
+	memGNNNs := timeIt(func() { runGNNEpoch(g, nil, info.NumVertices, gnnBatches, gnnBatchSize) })
+
+	for _, frac := range budgetFracs {
+		for _, pol := range []storage.EvictPolicy{storage.LRU, storage.MRU} {
+			rep.Rows = append(rep.Rows, measureCell(g, info, "pagerank", pol, frac, memPRNs))
+		}
+		rep.Rows = append(rep.Rows, measureCell(g, info, "gnn-epoch", storage.LRU, frac, memGNNNs))
+	}
+
+	rep.Check = equivalenceCheck(g, info)
+	if rep.Check["identical"] != true {
+		fmt.Fprintf(os.Stderr, "benchstorage: equivalence check failed: %v\n", rep.Check["detail"])
+		os.Exit(1)
+	}
+
+	if !*smoke {
+		rep.Capacity = runCapacity(dir, *capScale, *capEF, *capFrac)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compression: raw %d B -> file %d B (%.2fx)\n", rep.RawCSRBytes, rep.FileBytes, rep.CompressionRatio)
+	for _, r := range rep.Rows {
+		fmt.Printf("%-10s %-4s budget=%.2f  hit=%.3f  %12d B read  %10d ns/op  %.2fx of mem\n",
+			r.Workload, r.Evict, r.BudgetFrac, r.HitRatio, r.BytesRead, r.NsPerOp, r.RelThroughput)
+	}
+	if c := rep.Capacity; c != nil {
+		fmt.Printf("capacity: %d edges under %d B budget (%.1f%% of raw CSR): %d supersteps + %d gnn batches, hit=%.3f, %d B read\n",
+			c.Edges, c.BudgetBytes, 100*c.BudgetFrac, c.Supersteps, c.GNNBatches, c.HitRatio, c.BytesRead)
+	}
+	fmt.Printf("wrote %s (gomaxprocs=%d)\n", *out, rep.GOMAXPROCS)
+}

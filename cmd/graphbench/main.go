@@ -29,6 +29,7 @@ import (
 	"graphsys/internal/graph/gen"
 	"graphsys/internal/obs"
 	"graphsys/internal/pregel"
+	"graphsys/internal/storage"
 	"graphsys/internal/tensor"
 )
 
@@ -46,12 +47,36 @@ func run() int {
 	par := flag.Int("parallelism", 0, "goroutines for the tensor compute kernels (0 = GOMAXPROCS); results are bitwise identical at any setting")
 	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (inspect with go tool pprof)")
 	mutexProf := flag.String("mutexprofile", "", "write a mutex-contention profile to this file — the messaging path's lock behaviour under load")
+	source := flag.String("source", "mem", "graph adjacency source: mem (in-memory CSR) or disk (engines spill each graph to a compressed block file and read it through a bounded block cache; results are byte-identical)")
+	memBudget := flag.Int64("memory-budget", 0, "with -source disk: total adjacency memory budget in bytes (resident index/degrees + decoded-block cache; 0 = half the raw CSR per graph); a budget too small for even one block per worker is a typed storage.ErrBudget, never an OOM")
+	blockBytes := flag.Int("block-bytes", 0, "with -source disk: target compressed block size in bytes (0 = storage default)")
+	evict := flag.String("evict", "lru", "with -source disk: block-cache eviction policy, lru or mru (mru wins on cyclic full scans)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: graphbench [-trace out.json] [-parallelism n] [-cpuprofile cpu.out] [-mutexprofile mutex.out] [all | <experiment-id>...]\n\n")
+		fmt.Fprintf(os.Stderr, "usage: graphbench [-trace out.json] [-parallelism n] [-source mem|disk] [-memory-budget bytes] [-block-bytes n] [-evict lru|mru] [-cpuprofile cpu.out] [-mutexprofile mutex.out] [all | <experiment-id>...]\n\n")
 		list()
 	}
 	flag.Parse()
 	tensor.SetParallelism(*par)
+	switch *source {
+	case "mem":
+		// default: nothing to install
+	case "disk":
+		pol, err := storage.ParseEvictPolicy(*evict)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "graphbench: %v\n", err)
+			return 1
+		}
+		storage.SetDefault(&storage.Policy{
+			Disk:        true,
+			BudgetBytes: *memBudget,
+			BlockBytes:  *blockBytes,
+			Evict:       pol,
+		})
+		defer storage.SetDefault(nil)
+	default:
+		fmt.Fprintf(os.Stderr, "graphbench: -source must be mem or disk, got %q\n", *source)
+		return 1
+	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {

@@ -1,9 +1,12 @@
 // Command graphgen writes synthetic datasets in the library's text formats:
 // edge lists for the graph generators and gSpan transaction files for the
-// molecule database.
+// molecule database. With -blocks it instead writes the compressed block-CSR
+// file (internal/storage) the out-of-core engines read; R-MAT graphs go
+// through the streaming writer, so datasets larger than RAM can be built.
 //
 //	graphgen -kind ba -n 10000 -k 4 > ba.txt
 //	graphgen -kind rmat -scale 14 -ef 8 > rmat.txt
+//	graphgen -kind rmat -scale 22 -ef 26 -blocks rmat22.gsb   # out-of-core build
 //	graphgen -kind community -n 5000 -k 8 > comm.txt
 //	graphgen -kind molecules -n 200 > mols.txt
 package main
@@ -16,31 +19,55 @@ import (
 
 	"graphsys/internal/graph"
 	"graphsys/internal/graph/gen"
+	"graphsys/internal/storage"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		kind  = flag.String("kind", "ba", "generator: ba | er | rmat | ws | grid | community | molecules")
-		n     = flag.Int("n", 1000, "vertices (ba/er/ws/community) or transactions (molecules)")
-		m     = flag.Int64("m", 0, "edges (er; default 4n)")
-		k     = flag.Int("k", 4, "attachment edges (ba), ring degree (ws), communities (community)")
-		scale = flag.Int("scale", 12, "log2 vertices (rmat)")
-		ef    = flag.Int("ef", 8, "edge factor (rmat)")
-		p     = flag.Float64("p", 0.05, "rewiring prob (ws)")
-		rows  = flag.Int("rows", 32, "grid rows")
-		cols  = flag.Int("cols", 32, "grid cols")
-		seed  = flag.Int64("seed", 42, "random seed")
+		kind       = flag.String("kind", "ba", "generator: ba | er | rmat | ws | grid | community | molecules")
+		n          = flag.Int("n", 1000, "vertices (ba/er/ws/community) or transactions (molecules)")
+		m          = flag.Int64("m", 0, "edges (er; default 4n)")
+		k          = flag.Int("k", 4, "attachment edges (ba), ring degree (ws), communities (community)")
+		scale      = flag.Int("scale", 12, "log2 vertices (rmat)")
+		ef         = flag.Int("ef", 8, "edge factor (rmat)")
+		p          = flag.Float64("p", 0.05, "rewiring prob (ws)")
+		rows       = flag.Int("rows", 32, "grid rows")
+		cols       = flag.Int("cols", 32, "grid cols")
+		seed       = flag.Int64("seed", 42, "random seed")
+		blocks     = flag.String("blocks", "", "write a compressed block-CSR file (.gsb) to this path instead of an edge list on stdout; rmat streams (never materializes the graph)")
+		blockBytes = flag.Int("block-bytes", 0, "with -blocks: target encoded block size (0 = storage default)")
 	)
 	flag.Parse()
 
 	if *kind == "molecules" {
+		if *blocks != "" {
+			log.Fatal("graphgen: -blocks applies to graph kinds, not molecules")
+		}
 		db := gen.MoleculeDB(*n, 9, 4, 0.9, *seed)
 		if err := graph.WriteTransactions(os.Stdout, db); err != nil {
 			log.Fatalf("graphgen: %v", err)
 		}
 		return
 	}
+
+	// R-MAT block files stream through the out-of-core writer: the graph is
+	// never materialized, so scale can exceed RAM.
+	if *blocks != "" && *kind == "rmat" {
+		nv := 1 << *scale
+		info, err := storage.WriteStream(*blocks, nv, false, func(emit func(u, v graph.V)) {
+			gen.RMATStream(*scale, *ef, *seed, func(u, v graph.V) {
+				emit(u, v)
+				emit(v, u) // undirected: both arc directions, like graph.Builder
+			})
+		}, storage.Options{BlockBytes: *blockBytes})
+		if err != nil {
+			log.Fatalf("graphgen: %v", err)
+		}
+		printInfo(info)
+		return
+	}
+
 	var g *graph.Graph
 	switch *kind {
 	case "ba":
@@ -64,7 +91,21 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *blocks != "" {
+		info, err := storage.Write(*blocks, g, storage.Options{BlockBytes: *blockBytes})
+		if err != nil {
+			log.Fatalf("graphgen: %v", err)
+		}
+		printInfo(info)
+		return
+	}
 	if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
 		log.Fatalf("graphgen: %v", err)
 	}
+}
+
+func printInfo(info *storage.Info) {
+	fmt.Printf("wrote %s: %d vertices, %d arcs, %d blocks, %d B (raw CSR %d B, %.2fx)\n",
+		info.Path, info.NumVertices, info.NumArcs, info.NumBlocks, info.FileBytes,
+		info.RawCSRBytes, info.CompressionRatio())
 }

@@ -15,10 +15,14 @@ import (
 	"graphsys/internal/obs"
 	"graphsys/internal/partition"
 	"graphsys/internal/pregel"
+	"graphsys/internal/storage"
 )
 
 // Blocks is a block decomposition of a graph: a partition whose parts have
 // been refined into connected blocks, plus the quotient (block-level) graph.
+// G is nil for decompositions built from an out-of-core GraphSource
+// (BuildSource); the quotient and the vertex→block map are all that
+// block-centric algorithms over the quotient need.
 type Blocks struct {
 	G        *graph.Graph
 	BlockOf  []int32 // vertex -> block id
@@ -65,6 +69,64 @@ func Build(g *graph.Graph, part *partition.Partition) *Blocks {
 	return &Blocks{G: g, BlockOf: blockOf, NumBlock: int(next), Quotient: qb.Build()}
 }
 
+// BuildSource is Build over an out-of-core GraphSource: the refinement BFS
+// reads adjacency through the handle (block-cached for disk sources) and the
+// quotient construction uses one sequential block scan, so the peak memory is
+// the O(|V|) blockOf array plus the quotient — never the full adjacency. The
+// decomposition is identical to Build on the same graph; only I/O differs.
+func BuildSource(src storage.GraphSource, part *partition.Partition) (*Blocks, error) {
+	n := src.NumVertices()
+	blockOf := make([]int32, n)
+	for i := range blockOf {
+		blockOf[i] = -1
+	}
+	next := int32(0)
+	var stack []graph.V
+	var frontier []graph.V // copy of the current Neighbors view (stack outlives it)
+	for s := 0; s < n; s++ {
+		if blockOf[s] != -1 {
+			continue
+		}
+		id := next
+		next++
+		blockOf[s] = id
+		stack = append(stack[:0], graph.V(s))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			ns, err := src.Neighbors(v)
+			if err != nil {
+				return nil, err
+			}
+			frontier = frontier[:0]
+			for _, w := range ns {
+				if blockOf[w] == -1 && part.Assign[w] == part.Assign[s] {
+					blockOf[w] = id
+					frontier = append(frontier, w)
+				}
+			}
+			stack = append(stack, frontier...)
+		}
+	}
+	qb := graph.NewBuilder(int(next), false)
+	directed := src.Directed()
+	err := src.Scan(func(u graph.V, adj []graph.V) error {
+		for _, v := range adj {
+			if !directed && u >= v {
+				continue // visit each undirected edge once, as EdgesOnce does
+			}
+			if blockOf[u] != blockOf[v] {
+				qb.AddEdge(graph.V(blockOf[u]), graph.V(blockOf[v]))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Blocks{BlockOf: blockOf, NumBlock: int(next), Quotient: qb.Build()}, nil
+}
+
 // CCResult reports a block-centric connected-components run.
 type CCResult struct {
 	Labels     []int32
@@ -92,7 +154,7 @@ func (b *Blocks) ConnectedComponentsCfg(cfg pregel.Config) (CCResult, error) {
 	if err != nil {
 		return CCResult{}, err
 	}
-	labels := make([]int32, b.G.NumVertices())
+	labels := make([]int32, len(b.BlockOf))
 	for v := range labels {
 		labels[v] = qLabels[b.BlockOf[v]]
 	}

@@ -5,6 +5,7 @@ import (
 
 	"graphsys/internal/graph"
 	"graphsys/internal/nn"
+	"graphsys/internal/storage"
 	"graphsys/internal/tensor"
 )
 
@@ -21,6 +22,42 @@ type SampledSubgraph struct {
 // given per-hop fanouts (Euler/AliGraph/DistDGL-style neighbor sampling):
 // at each hop every frontier vertex keeps at most fanout random neighbors.
 func NeighborSample(g *graph.Graph, seeds []graph.V, fanouts []int, rng *rand.Rand) *SampledSubgraph {
+	order, _ := sampleOrder(func(v graph.V) ([]graph.V, error) { return g.Neighbors(v), nil }, seeds, fanouts, rng)
+	sub, newToOld := g.InducedSubgraph(order)
+	s := &SampledSubgraph{Graph: sub, NewToOld: newToOld}
+	for i := range seeds {
+		s.SeedLoc = append(s.SeedLoc, i) // seeds were added first, dedup-safe for distinct seeds
+	}
+	return s
+}
+
+// NeighborSampleSource is NeighborSample over a storage.GraphSource handle:
+// the adjacency comes from the out-of-core block cache instead of the
+// in-memory CSR. The rng draw sequence depends only on neighbor list
+// contents, so for the same graph bytes the sampled subgraph — and therefore
+// the whole training trajectory — is byte-identical to the in-memory path.
+// (Block files carry adjacency only; the induced subgraph is unlabeled,
+// which the models never observe — batch labels come from the task.)
+func NeighborSampleSource(src storage.GraphSource, seeds []graph.V, fanouts []int, rng *rand.Rand) (*SampledSubgraph, error) {
+	order, err := sampleOrder(src.Neighbors, seeds, fanouts, rng)
+	if err != nil {
+		return nil, err
+	}
+	sub, newToOld, err := inducedFromSource(src, order)
+	if err != nil {
+		return nil, err
+	}
+	s := &SampledSubgraph{Graph: sub, NewToOld: newToOld}
+	for i := range seeds {
+		s.SeedLoc = append(s.SeedLoc, i)
+	}
+	return s, nil
+}
+
+// sampleOrder runs the fanout-sampling walk and returns the sampled vertices
+// in first-visit order (seeds first). The neigh views are used only between
+// successive calls, respecting the GraphSource one-live-view contract.
+func sampleOrder(neigh func(v graph.V) ([]graph.V, error), seeds []graph.V, fanouts []int, rng *rand.Rand) ([]graph.V, error) {
 	inSet := map[graph.V]int{}
 	var order []graph.V
 	addV := func(v graph.V) {
@@ -36,7 +73,10 @@ func NeighborSample(g *graph.Graph, seeds []graph.V, fanouts []int, rng *rand.Ra
 	for _, fanout := range fanouts {
 		var next []graph.V
 		for _, v := range frontier {
-			ns := g.Neighbors(v)
+			ns, err := neigh(v)
+			if err != nil {
+				return nil, err
+			}
 			if len(ns) == 0 {
 				continue
 			}
@@ -59,12 +99,37 @@ func NeighborSample(g *graph.Graph, seeds []graph.V, fanouts []int, rng *rand.Ra
 		}
 		frontier = next
 	}
-	sub, newToOld := g.InducedSubgraph(order)
-	s := &SampledSubgraph{Graph: sub, NewToOld: newToOld}
-	for i := range seeds {
-		s.SeedLoc = append(s.SeedLoc, i) // seeds were added first, dedup-safe for distinct seeds
+	return order, nil
+}
+
+// inducedFromSource builds the subgraph induced by vs (assumed distinct, as
+// sampleOrder produces) reading adjacency from src, mirroring
+// graph.InducedSubgraph's edge selection so the resulting CSR is
+// byte-identical for unlabeled graphs.
+func inducedFromSource(src storage.GraphSource, vs []graph.V) (*graph.Graph, []graph.V, error) {
+	oldToNew := make(map[graph.V]graph.V, len(vs))
+	for i, v := range vs {
+		oldToNew[v] = graph.V(i)
 	}
-	return s
+	directed := src.Directed()
+	b := graph.NewBuilder(len(vs), directed)
+	for i, old := range vs {
+		ns, err := src.Neighbors(old)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, w := range ns {
+			nw, ok := oldToNew[w]
+			if !ok {
+				continue
+			}
+			if !directed && old > w {
+				continue // add each undirected edge once
+			}
+			b.AddEdge(graph.V(i), nw)
+		}
+	}
+	return b.Build(), append([]graph.V(nil), vs...), nil
 }
 
 // Features extracts the feature rows for the sampled vertices.

@@ -1,0 +1,145 @@
+package gnndist
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"graphsys/internal/gnn"
+	"graphsys/internal/storage"
+)
+
+// openDisk writes the task graph to a block file and returns a cached
+// provider sized to roughly half the decoded graph, so sampling actually
+// evicts.
+func openDisk(t *testing.T, task *gnn.Task, workers int) *storage.CachedProvider {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.gsb")
+	info, err := storage.Write(path, task.G, storage.Options{BlockBytes: 1 << 10})
+	if err != nil {
+		t.Fatalf("storage.Write: %v", err)
+	}
+	budget := info.ResidentBytes + info.RawCSRBytes/2
+	if min := info.ResidentBytes + int64(workers)*info.MaxDecodedBytes; budget < min {
+		budget = min
+	}
+	p, err := storage.OpenCached(path, budget, workers, storage.LRU)
+	if err != nil {
+		t.Fatalf("storage.OpenCached: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestTrainSyncDiskEquivalence is the tentpole gate for the GNN engine:
+// sampled training epochs whose adjacency comes through the disk-backed block
+// cache must produce a bitwise-identical model trajectory (accuracy, loss,
+// steps, gradient bytes) to the in-memory run, at workers 1, 2 and 8.
+func TestTrainSyncDiskEquivalence(t *testing.T) {
+	task := gnn.SyntheticCommunityTask(600, 4, 8, 0.5, 7)
+	for _, workers := range []int{1, 2, 8} {
+		cfg := TrainerConfig{Workers: workers, TimeBudget: 12, BatchSize: 16, Seed: 3}
+		mem, err := TrainSync(task, cfg)
+		if err != nil {
+			t.Fatalf("in-memory TrainSync: %v", err)
+		}
+		prov := openDisk(t, task, workers)
+		cfg.Source = prov
+		disk, err := TrainSync(task, cfg)
+		if err != nil {
+			t.Fatalf("disk TrainSync (w=%d): %v", workers, err)
+		}
+		if math.Float64bits(mem.TestAcc) != math.Float64bits(disk.TestAcc) ||
+			math.Float64bits(mem.Loss) != math.Float64bits(disk.Loss) {
+			t.Fatalf("w=%d: acc/loss differ: mem (%v, %v) disk (%v, %v)",
+				workers, mem.TestAcc, mem.Loss, disk.TestAcc, disk.Loss)
+		}
+		if mem.Steps != disk.Steps || mem.GradBytes != disk.GradBytes {
+			t.Fatalf("w=%d: trajectory differs: steps %d/%d gradBytes %d/%d",
+				workers, mem.Steps, disk.Steps, mem.GradBytes, disk.GradBytes)
+		}
+		if prov.Stats().BlocksRead == 0 {
+			t.Fatalf("w=%d: disk run read no blocks", workers)
+		}
+	}
+}
+
+// TestTrainBoundedStaleDiskEquivalence covers the asynchronous scheduler: the
+// event order depends only on simulated clocks, so the disk path must match.
+func TestTrainBoundedStaleDiskEquivalence(t *testing.T) {
+	task := gnn.SyntheticCommunityTask(400, 4, 8, 0.5, 11)
+	cfg := TrainerConfig{Workers: 4, TimeBudget: 10, BatchSize: 16, Staleness: 2, Seed: 5,
+		WorkerSpeed: []float64{1, 1.5, 1, 2}}
+	mem, err := TrainBoundedStale(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov := openDisk(t, task, cfg.Workers)
+	cfg.Source = prov
+	disk, err := TrainBoundedStale(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(mem.TestAcc) != math.Float64bits(disk.TestAcc) || mem.Steps != disk.Steps {
+		t.Fatalf("bounded-stale trajectory differs: acc %v/%v steps %d/%d",
+			mem.TestAcc, disk.TestAcc, mem.Steps, disk.Steps)
+	}
+}
+
+// TestTrainSyncStoragePolicy covers the graphbench `-source disk` path: the
+// trainer spills the task graph itself, matches the in-memory result, and
+// attaches the storage section (with a per-round series) to the trace.
+func TestTrainSyncStoragePolicy(t *testing.T) {
+	task := gnn.SyntheticCommunityTask(400, 4, 8, 0.5, 13)
+	cfg := TrainerConfig{Workers: 2, TimeBudget: 8, BatchSize: 16, Seed: 9}
+	mem, err := TrainSync(task, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	storage.SetDefault(&storage.Policy{
+		Disk:        true,
+		BudgetBytes: 1 << 22,
+		BlockBytes:  1 << 10,
+		Dir:         t.TempDir(),
+	})
+	defer storage.SetDefault(nil)
+	cfg.Trace = true
+	disk, err := TrainSync(task, cfg)
+	if err != nil {
+		t.Fatalf("TrainSync under disk policy: %v", err)
+	}
+	if math.Float64bits(mem.TestAcc) != math.Float64bits(disk.TestAcc) || mem.Steps != disk.Steps {
+		t.Fatalf("policy-spill trajectory differs: acc %v/%v steps %d/%d",
+			mem.TestAcc, disk.TestAcc, mem.Steps, disk.Steps)
+	}
+	st := disk.Trace.Storage
+	if st == nil {
+		t.Fatal("trace has no storage section under disk policy")
+	}
+	if st.Kind != "disk" || st.BytesRead <= 0 || st.FileBytes <= 0 {
+		t.Fatalf("bad storage trace: %+v", st)
+	}
+	if len(st.Rounds) == 0 {
+		t.Fatal("storage trace has no per-round series")
+	}
+	var roundBytes int64
+	for _, r := range st.Rounds {
+		roundBytes += r.BytesRead
+	}
+	if roundBytes != st.BytesRead {
+		t.Fatalf("per-round bytes %d do not sum to total %d", roundBytes, st.BytesRead)
+	}
+}
+
+// TestTrainSyncStorageBudgetError pins the typed-error contract: an
+// impossible budget fails fast from the entry point, not mid-epoch.
+func TestTrainSyncStorageBudgetError(t *testing.T) {
+	task := gnn.SyntheticCommunityTask(400, 4, 8, 0.5, 13)
+	storage.SetDefault(&storage.Policy{Disk: true, BudgetBytes: 64, Dir: t.TempDir()})
+	defer storage.SetDefault(nil)
+	_, err := TrainSync(task, TrainerConfig{Workers: 2, TimeBudget: 2})
+	if !errors.Is(err, storage.ErrBudget) {
+		t.Fatalf("got %v, want wrapped storage.ErrBudget", err)
+	}
+}

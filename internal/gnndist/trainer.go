@@ -10,6 +10,7 @@ import (
 	"graphsys/internal/nn"
 	"graphsys/internal/obs"
 	"graphsys/internal/partition"
+	"graphsys/internal/storage"
 	"graphsys/internal/tensor"
 )
 
@@ -18,6 +19,15 @@ type TrainerConfig struct {
 	Workers   int
 	Part      *partition.Partition // vertex placement; nil = hash
 	CacheSize int                  // >0 enables BGL-style feature cache
+
+	// Source, when set, serves all neighbor-sampling adjacency reads from
+	// the out-of-core storage layer: worker w samples through Source's
+	// per-worker handle w instead of task.G's in-memory CSR. Sampling is
+	// byte-identical between the two paths, so the whole training trajectory
+	// is too. The caller keeps ownership (the trainer does not Close it).
+	// When nil and the process-wide storage.Policy requests disk, the trainer
+	// spills task.G to a temp block file itself.
+	Source storage.Provider
 
 	Kind      gnn.ModelKind
 	Hidden    int
@@ -148,6 +158,12 @@ type dist struct {
 	srcs  []*countedSource
 	rngs  []*rand.Rand
 	quant []map[int]*Quantizer // per worker, per parameter index
+
+	prov     storage.Provider        // nil = sample from task.G
+	ownProv  *storage.CachedProvider // policy spill owned by the trainer; closed in finish
+	srcErr   error                   // first storage failure, surfaced at the round barrier
+	stRounds []obs.StorageRound      // per-round I/O deltas (trace runs only)
+	stLast   storage.IOStats
 }
 
 func newDist(task *gnn.Task, cfg TrainerConfig) (*dist, error) {
@@ -181,7 +197,42 @@ func newDist(task *gnn.Task, cfg TrainerConfig) (*dist, error) {
 		d.rngs[w] = rand.New(d.srcs[w])
 		d.quant[w] = map[int]*Quantizer{}
 	}
+	d.prov = cfg.Source
+	if d.prov == nil {
+		if pol := storage.Default(); pol != nil && pol.Disk {
+			sp, err := pol.Spill(task.G, cfg.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("gnndist: %w", err)
+			}
+			d.prov = sp
+			d.ownProv = sp
+		}
+	}
 	return d, nil
+}
+
+// meterStorage reports whether the run reads adjacency through a metered
+// (disk-backed) provider.
+func (d *dist) meterStorage() bool {
+	return d.prov != nil && d.prov.Footprint().Metered()
+}
+
+// noteRound records the round's I/O delta into the per-round trace series.
+func (d *dist) noteRound(round int) {
+	if !d.meterStorage() || !d.cfg.RunOptions.Trace {
+		return
+	}
+	cur := d.prov.Stats()
+	delta := cur.Sub(d.stLast)
+	d.stLast = cur
+	d.stRounds = append(d.stRounds, obs.StorageRound{
+		Round:      round,
+		Hits:       delta.Hits,
+		Misses:     delta.Misses,
+		Evictions:  delta.Evictions,
+		BlocksRead: delta.BlocksRead,
+		BytesRead:  delta.BytesRead,
+	})
 }
 
 // speed is the simulated cost of one step on worker w, including any injected
@@ -256,7 +307,19 @@ func (d *dist) gradStep(w int, snapshot weights) (weights, int64) {
 			uniq = append(uniq, s)
 		}
 	}
-	sub := gnn.NeighborSample(d.task.G, uniq, d.cfg.Fanouts, rng)
+	var sub *gnn.SampledSubgraph
+	if d.prov != nil {
+		var err error
+		sub, err = gnn.NeighborSampleSource(d.prov.Handle(w), uniq, d.cfg.Fanouts, rng)
+		if err != nil {
+			if d.srcErr == nil {
+				d.srcErr = err
+			}
+			return nil, 0
+		}
+	} else {
+		sub = gnn.NeighborSample(d.task.G, uniq, d.cfg.Fanouts, rng)
+	}
 	bx := d.fs.Fetch(w, sub.NewToOld)
 	blabels := make([]int, sub.Graph.NumVertices())
 	for i := range blabels {
@@ -304,12 +367,52 @@ func (d *dist) evaluate(master weights) (acc, loss float64) {
 	return nn.Accuracy(logits, d.task.Labels, d.task.TestMask), loss
 }
 
-// finish fills the result fields common to all training modes.
+// finish fills the result fields common to all training modes, attaches the
+// storage section to the trace for metered runs, and closes a policy-spilled
+// provider the trainer owns.
 func (d *dist) finish(res *DistResult, master weights, workload string) {
 	res.TestAcc, res.Loss = d.evaluate(master)
 	res.Net = d.clst.Network().Stats()
 	res.RemoteFrac = d.fs.RemoteFraction()
 	res.Trace = obs.Finish(d.cfg.RunOptions, workload, d.clst)
+	if res.Trace != nil && d.meterStorage() {
+		st := d.prov.Stats()
+		fp := d.prov.Footprint()
+		res.Trace.Storage = &obs.StorageTrace{
+			Kind:          fp.Kind,
+			FileBytes:     fp.FileBytes,
+			ResidentBytes: fp.ResidentBytes,
+			CacheBytes:    fp.CacheBytes,
+			Hits:          st.Hits,
+			Misses:        st.Misses,
+			Evictions:     st.Evictions,
+			BlocksRead:    st.BlocksRead,
+			BytesRead:     st.BytesRead,
+			HitRatio:      st.HitRatio(),
+			Rounds:        d.stRounds,
+		}
+	}
+	d.closeOwned()
+}
+
+// closeOwned releases a policy-spilled provider (and its temp block file).
+// Best-effort: by the time it runs the spill has been fully read.
+func (d *dist) closeOwned() {
+	if d.ownProv != nil {
+		_ = d.ownProv.Close()
+		d.ownProv = nil
+	}
+}
+
+// storageFailed surfaces the first sampling I/O error as a typed error at the
+// round barrier (mirroring pregel's superstep-barrier check), releasing any
+// owned spill first.
+func (d *dist) storageFailed(round int) error {
+	if d.srcErr == nil {
+		return nil
+	}
+	d.closeOwned()
+	return fmt.Errorf("gnndist: round %d: %w", round, d.srcErr)
 }
 
 // TrainSync runs fully synchronous data-parallel training: every round all
@@ -386,6 +489,10 @@ func trainSync(task *gnn.Task, cfg TrainerConfig) (DistResult, *dist, error) {
 				roundMax = sp
 			}
 		}
+		if err := d.storageFailed(r); err != nil {
+			return DistResult{}, nil, err
+		}
+		d.noteRound(r)
 		opt.Step(params)
 		res.Steps++
 		res.SyncRounds++
@@ -501,6 +608,10 @@ func TrainBoundedStale(task *gnn.Task, cfg TrainerConfig) (DistResult, error) {
 			d.clst.Network().Account(ps, w, weightBytes(master))
 		}
 		grads, sent := d.gradStep(w, local[w])
+		if err := d.storageFailed(ev); err != nil {
+			return DistResult{}, err
+		}
+		d.noteRound(ev)
 		res.GradBytes += sent
 		if grads != nil {
 			d.clst.Network().Account(w, ps, sent)
@@ -555,6 +666,10 @@ func TrainSancus(task *gnn.Task, cfg TrainerConfig) (DistResult, error) {
 				roundMax = sp
 			}
 		}
+		if err := d.storageFailed(int(res.SyncRounds)); err != nil {
+			return DistResult{}, err
+		}
+		d.noteRound(int(res.SyncRounds))
 		opt.Step(masterModel.Params())
 		res.Steps++
 		res.SyncRounds++

@@ -119,6 +119,36 @@ func RMAT(scale int, edgeFactor int, seed int64) *graph.Graph {
 	return bld.Build()
 }
 
+// RMATStream emits the exact edge sequence of RMAT(scale, edgeFactor, seed)
+// — self-loops included, undeduplicated — without materializing a graph, so
+// out-of-core builders (storage.WriteStream) can construct beyond-RAM
+// R-MAT datasets with no global sort. Callers mirroring RMAT's undirected
+// semantics must emit both arc directions and drop self-loops themselves.
+func RMATStream(scale int, edgeFactor int, seed int64, emit func(u, v graph.V)) {
+	n := 1 << scale
+	m := int64(edgeFactor) * int64(n)
+	rng := rand.New(rand.NewSource(seed))
+	const a, b, c = 0.57, 0.19, 0.19
+	for e := int64(0); e < m; e++ {
+		u, v := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			r := rng.Float64()
+			switch {
+			case r < a:
+				// top-left quadrant
+			case r < a+b:
+				v |= 1 << bit
+			case r < a+b+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		emit(graph.V(u), graph.V(v))
+	}
+}
+
 // WattsStrogatz generates a small-world ring lattice with n vertices, each
 // connected to its k nearest neighbors, with rewiring probability p.
 func WattsStrogatz(n, k int, p float64, seed int64) *graph.Graph {

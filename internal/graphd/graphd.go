@@ -6,6 +6,12 @@
 // edge lists exceed memory can still be processed. The trade is disk I/O
 // per round — which this package meters exactly — against the O(|V|+|E|)
 // resident footprint of the in-memory engine.
+//
+// The engine proper is BlockFile, built on the shared out-of-core layer
+// (internal/storage): compressed block-CSR on disk, one sequential block
+// scan per pass. EdgeFile is the original raw 8-bytes-per-arc format, kept
+// as the uncompressed baseline the storage benchmark compares against (and
+// as the interchange format of the pathqueries example).
 package graphd
 
 import (

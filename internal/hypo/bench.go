@@ -162,6 +162,27 @@ type GateConfig struct {
 	// substrate-level comms gate demands 3× on raw sends — whole rounds also
 	// contain compute and demux, so the end-to-end floor is looser).
 	MinEngineLegacyEffect float64
+	// MinStorageCompression is the floor on the block file's compression
+	// ratio (raw CSR bytes ÷ file bytes) for the sweep graph (default 1.5).
+	MinStorageCompression float64
+	// StorageHitBand is the allowed absolute hit-ratio drop of any sweep
+	// cell below its committed baseline (default 0.08 — hit ratios are
+	// deterministic, the band only absorbs the smoke run's shorter
+	// measurement window).
+	StorageHitBand float64
+	// MinStorageRelThroughput is the floor on disk-backed throughput as a
+	// fraction of the in-memory run at the largest cache budget, measured
+	// within one process (default 0.15: block decode costs real work; the
+	// committed runs measure well above this).
+	MinStorageRelThroughput float64
+	// MinCapacityEdges is the out-of-core capacity headline: the committed
+	// full run must complete on an R-MAT with at least this many undirected
+	// edges (default 100M).
+	MinCapacityEdges int64
+	// MaxCapacityBudgetFrac caps the capacity run's adjacency memory budget
+	// as a fraction of the raw CSR size (default 0.25 — "far below" the
+	// in-memory footprint).
+	MaxCapacityBudgetFrac float64
 }
 
 // DefaultGateConfig returns the standard tolerance bands.
@@ -177,6 +198,12 @@ func DefaultGateConfig() GateConfig {
 		MinDenseEffect:        1.05,
 		MinDense8Effect:       1.3,
 		MinEngineLegacyEffect: 1.5,
+
+		MinStorageCompression:   1.5,
+		StorageHitBand:          0.08,
+		MinStorageRelThroughput: 0.15,
+		MinCapacityEdges:        100_000_000,
+		MaxCapacityBudgetFrac:   0.25,
 	}
 }
 

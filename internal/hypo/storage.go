@@ -1,0 +1,237 @@
+package hypo
+
+import "fmt"
+
+// This file owns the BENCH_storage.json schema (written by cmd/benchstorage,
+// re-read by cmd/benchcheck) and its regression gates: the out-of-core
+// storage layer's compression ratio, the cache-size sweep's hit-ratio curve,
+// the cached-vs-in-memory throughput floor, and the capacity claim — a
+// 100M+-edge PageRank completing under a memory budget far below the raw
+// graph.
+//
+// Gate philosophy (as in bench.go/engine.go): raw wall times never cross
+// machines. What IS comparable:
+//   - the compression ratio and the equivalence check — deterministic
+//     functions of the file format and the workloads
+//   - hit ratios — deterministic functions of (graph, budget, access
+//     sequence); the smoke run replays the same sweep with fewer measured
+//     rounds, so cells are compared against the committed baseline within a
+//     small absolute band
+//   - RelThroughput — cached vs in-memory throughput measured in the SAME
+//     process, a within-run ratio
+//   - the capacity row — a property of the committed full-run artifact; the
+//     smoke run cannot rebuild a 100M-edge graph, so the gate reads the
+//     committed baseline
+
+// StorageRow is one (workload, eviction policy, cache budget) cell of the
+// sweep: a fixed workload run with the adjacency behind a block cache whose
+// budget is BudgetFrac of the raw CSR size.
+type StorageRow struct {
+	Workload      string  `json:"workload"` // "pagerank" | "gnn-epoch"
+	Evict         string  `json:"evict"`    // "lru" | "mru"
+	BudgetFrac    float64 `json:"budget_frac"`
+	BudgetBytes   int64   `json:"budget_bytes"`
+	HitRatio      float64 `json:"hit_ratio"`
+	BytesRead     int64   `json:"bytes_read"`
+	NsPerOp       int64   `json:"ns_per_op"`      // one iteration (pagerank) or epoch (gnn)
+	RelThroughput float64 `json:"rel_throughput"` // cached ops/sec ÷ in-memory ops/sec, same process
+}
+
+// StorageCapacity is the committed full run's out-of-core headline: PageRank
+// plus a sampled-GNN epoch over a 100M+-edge R-MAT, with the adjacency
+// memory budget enforced far below the raw graph size.
+type StorageCapacity struct {
+	Scale       int     `json:"scale"`
+	EdgeFactor  int     `json:"edge_factor"`
+	Vertices    int     `json:"vertices"`
+	Edges       int64   `json:"edges"`
+	Arcs        int64   `json:"arcs"`
+	FileBytes   int64   `json:"file_bytes"`
+	RawCSRBytes int64   `json:"raw_csr_bytes"`
+	BudgetBytes int64   `json:"budget_bytes"`
+	BudgetFrac  float64 `json:"budget_frac"` // budget ÷ raw CSR
+	Supersteps  int     `json:"supersteps"`  // pagerank rounds completed
+	GNNBatches  int     `json:"gnn_batches"` // sampled minibatches completed
+	HitRatio    float64 `json:"hit_ratio"`
+	BytesRead   int64   `json:"bytes_read"`
+	Completed   bool    `json:"completed"`
+}
+
+// StorageReport is the BENCH_storage.json document.
+type StorageReport struct {
+	GeneratedBy      string           `json:"generated_by"`
+	GOMAXPROCS       int              `json:"gomaxprocs"`
+	Smoke            bool             `json:"smoke"`
+	Note             string           `json:"note"`
+	Scale            int              `json:"scale"` // sweep graph
+	EdgeFactor       int              `json:"edge_factor"`
+	Vertices         int              `json:"vertices"`
+	Arcs             int64            `json:"arcs"`
+	FileBytes        int64            `json:"file_bytes"`
+	RawCSRBytes      int64            `json:"raw_csr_bytes"`
+	CompressionRatio float64          `json:"compression_ratio"` // raw CSR ÷ file bytes
+	Rows             []StorageRow     `json:"rows"`
+	Capacity         *StorageCapacity `json:"capacity,omitempty"` // full runs only
+	Check            map[string]any   `json:"equivalence_check"`
+}
+
+// Row returns the cell for (workload, evict, budgetFrac), if present.
+func (r *StorageReport) Row(workload, evict string, budgetFrac float64) (StorageRow, bool) {
+	for _, row := range r.Rows {
+		if row.Workload == workload && row.Evict == evict && row.BudgetFrac == budgetFrac {
+			return row, true
+		}
+	}
+	return StorageRow{}, false
+}
+
+// ReadStorageReport parses a BENCH_storage.json file.
+func ReadStorageReport(path string) (*StorageReport, error) {
+	var r StorageReport
+	if err := readJSON(path, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// StorageGates builds the hypotheses comparing a fresh storage report
+// against the committed baseline.
+func StorageGates(fresh, baseline *StorageReport, cfg GateConfig) []Hypothesis {
+	return []Hypothesis{
+		{
+			ID:    "storage-coverage",
+			Claim: "every baseline (workload, evict, budget) sweep cell is present in the fresh report",
+			Type:  Deterministic,
+			Check: func() []Finding {
+				var fs []Finding
+				for _, b := range baseline.Rows {
+					_, ok := fresh.Row(b.Workload, b.Evict, b.BudgetFrac)
+					fs = append(fs, Finding{
+						Label: fmt.Sprintf("%s/%s/budget=%.2f", b.Workload, b.Evict, b.BudgetFrac),
+						Pass:  ok,
+						Got:   fmt.Sprintf("in fresh report: %v", ok),
+					})
+				}
+				if len(baseline.Rows) == 0 {
+					fs = append(fs, Finding{Label: "rows", Pass: false, Got: "baseline report has no rows"})
+				}
+				return fs
+			},
+		},
+		{
+			ID:    "storage-equivalence",
+			Claim: "PageRank ranks and the sampled-GNN trajectory are bitwise identical between the in-memory and disk-backed GraphSource (verified in-process by cmd/benchstorage)",
+			Type:  Deterministic,
+			Check: func() []Finding {
+				ident, ok := fresh.Check["identical"].(bool)
+				return []Finding{{
+					Label: "equivalence_check",
+					Pass:  ok && ident,
+					Got:   fmt.Sprintf("identical=%v present=%v", ident, ok),
+				}}
+			},
+		},
+		{
+			ID:    "storage-compression",
+			Claim: fmt.Sprintf("the gap-encoded block file is ≥%.2f× smaller than the raw CSR", cfg.MinStorageCompression),
+			Type:  Deterministic,
+			Unit:  "ratio",
+			Check: func() []Finding {
+				return []Finding{{
+					Label: "compression_ratio",
+					Pass:  fresh.CompressionRatio >= cfg.MinStorageCompression,
+					Got: fmt.Sprintf("%.2fx (raw %d B → file %d B; floor %.2fx)",
+						fresh.CompressionRatio, fresh.RawCSRBytes, fresh.FileBytes, cfg.MinStorageCompression),
+				}}
+			},
+		},
+		{
+			ID: "storage-hit-ratio",
+			Claim: fmt.Sprintf("every sweep cell's cache hit ratio stays within %.2f of its committed baseline (hit ratios are deterministic in (graph, budget, access sequence))",
+				cfg.StorageHitBand),
+			Type: Deterministic,
+			Unit: "hit ratio",
+			Check: func() []Finding {
+				var fs []Finding
+				for _, row := range fresh.Rows {
+					b, ok := baseline.Row(row.Workload, row.Evict, row.BudgetFrac)
+					if !ok {
+						continue // a new cell has no baseline yet; coverage guards the reverse
+					}
+					fs = append(fs, Finding{
+						Label: fmt.Sprintf("%s/%s/budget=%.2f", row.Workload, row.Evict, row.BudgetFrac),
+						Pass:  row.HitRatio >= b.HitRatio-cfg.StorageHitBand,
+						Got:   fmt.Sprintf("hit ratio %.3f (baseline %.3f, band %.2f)", row.HitRatio, b.HitRatio, cfg.StorageHitBand),
+					})
+				}
+				if len(fs) == 0 {
+					fs = append(fs, Finding{Label: "rows", Pass: false, Got: "no comparable sweep cells"})
+				}
+				return fs
+			},
+		},
+		{
+			ID: "storage-throughput",
+			Claim: fmt.Sprintf("at the largest cache budget, the disk-backed run sustains ≥%.0f%% of the in-memory throughput (within one process)",
+				cfg.MinStorageRelThroughput*100),
+			Type: Deterministic,
+			Unit: "relative throughput",
+			Check: func() []Finding {
+				best := map[string]StorageRow{}
+				for _, row := range fresh.Rows {
+					if b, ok := best[row.Workload]; !ok || row.BudgetFrac > b.BudgetFrac {
+						best[row.Workload] = row
+					}
+				}
+				var fs []Finding
+				for _, workload := range []string{"pagerank", "gnn-epoch"} {
+					row, ok := best[workload]
+					if !ok {
+						fs = append(fs, Finding{Label: workload, Pass: false, Got: "no sweep cell"})
+						continue
+					}
+					fs = append(fs, Finding{
+						Label: fmt.Sprintf("%s/budget=%.2f", workload, row.BudgetFrac),
+						Pass:  row.RelThroughput >= cfg.MinStorageRelThroughput,
+						Got:   fmt.Sprintf("%.2fx of in-memory (floor %.2fx)", row.RelThroughput, cfg.MinStorageRelThroughput),
+					})
+				}
+				return fs
+			},
+		},
+		{
+			ID: "storage-capacity",
+			Claim: fmt.Sprintf("the committed full run completes PageRank + a sampled-GNN epoch on a ≥%dM-edge R-MAT under a budget ≤%.0f%% of the raw CSR",
+				cfg.MinCapacityEdges/1_000_000, cfg.MaxCapacityBudgetFrac*100),
+			Type: Deterministic,
+			Check: func() []Finding {
+				c := baseline.Capacity
+				if c == nil {
+					return []Finding{{Label: "capacity", Pass: false, Got: "committed baseline has no capacity section"}}
+				}
+				return []Finding{
+					{
+						Label: "completed",
+						Pass:  c.Completed && c.Supersteps > 0 && c.GNNBatches > 0,
+						Got:   fmt.Sprintf("completed=%v supersteps=%d gnn_batches=%d", c.Completed, c.Supersteps, c.GNNBatches),
+					},
+					{
+						Label: "edges",
+						Pass:  c.Edges >= cfg.MinCapacityEdges,
+						Got:   fmt.Sprintf("%d edges (floor %d)", c.Edges, cfg.MinCapacityEdges),
+					},
+					{
+						Label: "budget",
+						Pass:  c.RawCSRBytes > 0 && float64(c.BudgetBytes) <= cfg.MaxCapacityBudgetFrac*float64(c.RawCSRBytes),
+						Got:   fmt.Sprintf("budget %d B vs raw CSR %d B (%.1f%%, cap %.0f%%)", c.BudgetBytes, c.RawCSRBytes, 100*float64(c.BudgetBytes)/float64(c.RawCSRBytes), cfg.MaxCapacityBudgetFrac*100),
+					},
+					{
+						Label: "io-metered",
+						Pass:  c.BytesRead > 0 && c.HitRatio > 0,
+						Got:   fmt.Sprintf("bytes_read=%d hit_ratio=%.3f", c.BytesRead, c.HitRatio),
+					},
+				}
+			},
+		},
+	}
+}

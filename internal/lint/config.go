@@ -50,6 +50,9 @@ func Default() *Config {
 		MapRangePkgs: []string{
 			"internal/cluster", "internal/pregel", "internal/blogel",
 			"internal/quegel", "internal/gnndist",
+			// the block cache's hit/miss/eviction counters are observable,
+			// gated state — any map-ordered walk feeding them is a bug
+			"internal/storage",
 		},
 		SendMethods: []string{
 			"Send", "SendTo", "SendToNeighbors", "SendAll", "Broadcast",
@@ -66,6 +69,9 @@ func Default() *Config {
 			// experiment tables are committed artifacts (EXPERIMENTS.md) and
 			// must be byte-identical run to run — wall time is banned outright
 			"internal/experiments",
+			// the storage layer's I/O meters are deterministic functions of
+			// the access sequence; wall time has no business in them
+			"internal/storage",
 		},
 		WallclockAllowFiles: []string{"_bench", "bench_"},
 		WallclockDenied: []string{

@@ -52,6 +52,40 @@ type Trace struct {
 	// rounds re-executed after a crash, retry traffic on lossy links).
 	// Present only when the run executed a cluster.FaultPlan.
 	Recovery *cluster.RecoveryStats `json:"recovery,omitempty"`
+
+	// Storage meters the out-of-core graph layer (internal/storage): block
+	// cache hits/misses and disk bytes, with a per-round series. Present only
+	// when the run served adjacency from a disk-backed GraphSource.
+	Storage *StorageTrace `json:"storage,omitempty"`
+}
+
+// StorageTrace is the disk-I/O section of a trace: the provider's footprint,
+// run totals, and the per-round series engines record at each superstep (or
+// training round) barrier. Engines fill it from storage.IOStats; obs stays
+// free of a storage dependency.
+type StorageTrace struct {
+	Kind          string  `json:"kind"` // "disk"
+	FileBytes     int64   `json:"file_bytes"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	CacheBytes    int64   `json:"cache_bytes"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	BlocksRead    int64   `json:"blocks_read"`
+	BytesRead     int64   `json:"bytes_read"`
+	HitRatio      float64 `json:"hit_ratio"`
+
+	Rounds []StorageRound `json:"rounds,omitempty"`
+}
+
+// StorageRound is one round's slice of the disk-I/O meters.
+type StorageRound struct {
+	Round      int   `json:"round"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	BlocksRead int64 `json:"blocks_read"`
+	BytesRead  int64 `json:"bytes_read"`
 }
 
 // Skew summarises load imbalance and straggler skew.

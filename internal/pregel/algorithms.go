@@ -8,9 +8,17 @@ import (
 
 // PageRank runs iters supersteps of damped PageRank (d=0.85) and returns the
 // per-vertex ranks. It is the canonical "vertex analytics" scoring workload
-// of Figure 1's path 1 (object ranking / biomolecule prioritisation).
+// of Figure 1's path 1 (object ranking / biomolecule prioritisation). It is
+// source-capable: with cfg.Source set, g may be nil and adjacency comes from
+// the out-of-core storage layer.
 func PageRank(g *graph.Graph, iters int, cfg Config) ([]float64, *Result[float64], error) {
-	n := float64(g.NumVertices())
+	nv := 0
+	if g != nil {
+		nv = g.NumVertices()
+	} else if cfg.Source != nil {
+		nv = cfg.Source.NumVertices()
+	}
+	n := float64(nv)
 	const d = 0.85
 	prog := Program[float64, float64]{
 		Init: func(g *graph.Graph, v graph.V) float64 { return 1 / n },
@@ -23,7 +31,7 @@ func PageRank(g *graph.Graph, iters int, cfg Config) ([]float64, *Result[float64
 				*state = (1-d)/n + d*sum
 			}
 			if ctx.Superstep() < iters {
-				deg := ctx.Graph().Degree(v)
+				deg := ctx.Degree(v)
 				if deg > 0 {
 					ctx.SendToNeighbors(v, *state/float64(deg))
 				}

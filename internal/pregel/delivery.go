@@ -28,7 +28,7 @@ type delivery[M any] struct {
 	touched [][]int32 // local ids that received ≥1 message, discovery order
 
 	// legacy-oracle scratch (nil unless the run uses CommsLegacy)
-	sorted    [][]vmsg[M]
+	sorted    [][]lmsg[M]
 	combined  [][]vmsg[M]
 	senderOff [][]int32
 }
@@ -48,7 +48,7 @@ func newDelivery[M any](owned [][]graph.V, localIdx []int32, legacy bool) *deliv
 		d.cursor[w] = make([]int32, len(owned[w]))
 	}
 	if legacy {
-		d.sorted = make([][]vmsg[M], n)
+		d.sorted = make([][]lmsg[M], n)
 		d.combined = make([][]vmsg[M], n)
 		d.senderOff = make([][]int32, n)
 		for w := range owned {
@@ -113,13 +113,15 @@ func (d *delivery[M]) scatter(w int, stream []vmsg[M], msgs [][]M, active []bool
 // normalizeLegacy rewrites worker w's legacy inbox into the exact stream the
 // staged substrate would deliver for the same sends: a stable counting sort
 // by ascending sender rank first (the legacy inbox order is mutex-scheduling
-// dependent), then — when the program has a combiner — receiver-side
-// combining per sender run with the staged path's fold order
-// (combine(queued, incoming) in send order, first-occurrence positions
-// preserved). Matching the operation structure exactly is what keeps float
-// folds bitwise identical across the three communication paths; this is the
-// equivalence oracle, so its own allocations are not a concern.
-func (d *delivery[M]) normalizeLegacy(w, workers int, in []vmsg[M], key func(vmsg[M]) int64, combine func(a, b M) M) []vmsg[M] {
+// dependent; the staged paths' vmsg carries no sender rank because the outbox
+// lane implies it — only the legacy lmsg envelope still does), then — when
+// the program has a combiner — receiver-side combining per sender run with
+// the staged path's fold order (combine(queued, incoming) in send order,
+// first-occurrence positions preserved). Matching the operation structure
+// exactly is what keeps float folds bitwise identical across the three
+// communication paths; this is the equivalence oracle, so its own
+// allocations are not a concern.
+func (d *delivery[M]) normalizeLegacy(w, workers int, in []lmsg[M], key func(vmsg[M]) int64, combine func(a, b M) M) []vmsg[M] {
 	off := d.senderOff[w]
 	for i := range off {
 		off[i] = 0
@@ -133,7 +135,7 @@ func (d *delivery[M]) normalizeLegacy(w, workers int, in []vmsg[M], key func(vms
 	sorted := d.sorted[w]
 	clear(sorted)
 	if cap(sorted) < len(in) {
-		sorted = make([]vmsg[M], len(in))
+		sorted = make([]lmsg[M], len(in))
 	} else {
 		sorted = sorted[:len(in)]
 	}
@@ -143,26 +145,30 @@ func (d *delivery[M]) normalizeLegacy(w, workers int, in []vmsg[M], key func(vms
 		off[s]++
 	}
 	d.sorted[w] = sorted
-	if combine == nil {
-		return sorted
-	}
 	out := d.combined[w]
 	clear(out)
 	out = out[:0]
+	if combine == nil {
+		for i := range sorted {
+			out = append(out, sorted[i].vm)
+		}
+		d.combined[w] = out
+		return out
+	}
 	runIdx := map[int64]int{}
 	sender := int32(-1)
 	for i := range sorted {
-		vm := sorted[i]
-		if vm.sender != sender {
-			sender = vm.sender
+		lm := sorted[i]
+		if lm.sender != sender {
+			sender = lm.sender
 			clear(runIdx) // combining classes never span sender runs
 		}
-		k := key(vm)
+		k := key(lm.vm)
 		if j, ok := runIdx[k]; ok {
-			out[j].m = combine(out[j].m, vm.m)
+			out[j].m = combine(out[j].m, lm.vm.m)
 		} else {
 			runIdx[k] = len(out)
-			out = append(out, vm)
+			out = append(out, lm.vm)
 		}
 	}
 	d.combined[w] = out

@@ -17,6 +17,7 @@ import (
 	"graphsys/internal/det"
 	"graphsys/internal/graph"
 	"graphsys/internal/obs"
+	"graphsys/internal/storage"
 )
 
 // Config controls an engine run.
@@ -25,6 +26,18 @@ type Config struct {
 	MaxSupersteps int   // safety bound (default 1000)
 	Partition     []int // vertex → worker; nil = hash placement
 	MsgBytes      int64 // metered wire size per message (default 8)
+
+	// Source, if non-nil, serves adjacency through the out-of-core storage
+	// layer: every worker reads Degree/Neighbors from its private
+	// storage.GraphSource handle instead of the in-memory CSR, with disk I/O
+	// metered into the trace. Run may then be called with a nil graph, in
+	// which case Compute must reach adjacency only through the Context
+	// (ctx.Degree / ctx.Neighbors / ctx.SendToNeighbors — ctx.Graph() is
+	// nil). When Source is nil and the process-global storage policy
+	// (storage.SetDefault) selects disk mode, the engine spills the graph to
+	// a temporary block file and runs through it under the policy's memory
+	// budget. The provider is not closed by Run.
+	Source storage.Provider
 
 	// Fault tolerance (LWCP-style lightweight checkpointing, Yan et al.
 	// ICPP'19): every CheckpointEvery supersteps the engine snapshots vertex
@@ -131,23 +144,35 @@ type Program[S, M any] struct {
 type Context[M any] struct {
 	eng       engineIface[M]
 	g         *graph.Graph
+	src       storage.GraphSource // per-worker out-of-core handle (nil on in-memory runs)
+	srcErr    error               // first adjacency read failure; checked at the superstep barrier
 	worker    int
 	superstep int
 	halted    bool // set per vertex via VoteToHalt; reset by engine
 
 	out       *cluster.Outbox[vmsg[M]]    // staged substrate handle (nil on CommsLegacy)
-	lmb       *cluster.Mailboxes[vmsg[M]] // legacy substrate handle (nil on staged paths)
+	lmb       *cluster.Mailboxes[lmsg[M]] // legacy substrate handle (nil on staged paths)
 	partition []int
 
 	aggLocal map[string]float64
 }
 
+// vmsg is the wire envelope of the staged paths: destination vertex and
+// payload only. The sender's rank is implied by the staged outbox lane it
+// travels in (cluster.Mailboxes merges lanes in sender-rank order), so
+// carrying it per message would be 4 dead bytes on the hot path.
 type vmsg[M any] struct {
 	to graph.V
-	// sending worker rank; only the legacy oracle reads it, to recover the
-	// staged substrate's deterministic sender-rank inbox order receiver-side
+	m  M
+}
+
+// lmsg is the legacy oracle's envelope. The per-message locked mailboxes
+// deliver in mutex-scheduling order, so the sender rank must ride along for
+// normalizeLegacy to reconstruct the staged substrate's deterministic
+// sender-rank inbox order receiver-side.
+type lmsg[M any] struct {
+	vm     vmsg[M]
 	sender int32
-	m      M
 }
 
 type engineIface[M any] interface {
@@ -157,25 +182,50 @@ type engineIface[M any] interface {
 // Superstep returns the current superstep number (0-based).
 func (c *Context[M]) Superstep() int { return c.superstep }
 
-// Graph returns the input graph.
+// Graph returns the input graph. It is nil on Source-only runs (Config.Source
+// set, Run called with a nil graph); programs meant to run out-of-core must
+// use ctx.Degree / ctx.Neighbors / ctx.SendToNeighbors instead.
 func (c *Context[M]) Graph() *graph.Graph { return c.g }
+
+// Degree returns the out-degree of v, from the storage layer's resident
+// degree table on out-of-core runs.
+func (c *Context[M]) Degree(v graph.V) int {
+	if c.src != nil {
+		return c.src.Degree(v)
+	}
+	return c.g.Degree(v)
+}
+
+// Neighbors returns the sorted neighbor list of v, valid until the next
+// adjacency access on this worker. On out-of-core runs a block decode
+// failure records the error (surfaced by Run at the superstep barrier) and
+// returns nil, so Compute code stays free of error plumbing.
+func (c *Context[M]) Neighbors(v graph.V) []graph.V {
+	if c.src != nil {
+		ns, err := c.src.Neighbors(v)
+		if err != nil && c.srcErr == nil {
+			c.srcErr = err
+		}
+		return ns
+	}
+	return c.g.Neighbors(v)
+}
 
 // Send sends m to vertex to, delivered at the next superstep. The message
 // goes straight into the sending worker's staging outbox — a lock-free
 // append, combined on the fly when the program has a combiner (one slot-table
 // load on the dense path, one map lookup on the map path).
 func (c *Context[M]) Send(to graph.V, m M) {
-	vm := vmsg[M]{to: to, sender: int32(c.worker), m: m}
 	if c.out != nil {
-		c.out.Send(c.partition[to], vm)
+		c.out.Send(c.partition[to], vmsg[M]{to: to, m: m})
 		return
 	}
-	c.lmb.Send(c.worker, c.partition[to], vm)
+	c.lmb.Send(c.worker, c.partition[to], lmsg[M]{vm: vmsg[M]{to: to, m: m}, sender: int32(c.worker)})
 }
 
 // SendToNeighbors sends m to every neighbor of v.
 func (c *Context[M]) SendToNeighbors(v graph.V, m M) {
-	for _, w := range c.g.Neighbors(v) {
+	for _, w := range c.Neighbors(v) {
 		c.Send(w, m)
 	}
 }
@@ -210,12 +260,33 @@ type Result[S any] struct {
 
 // Run executes prog on g until all vertices halt with no messages in flight,
 // or cfg.MaxSupersteps is reached. It returns an error for an invalid Config
-// (bad Partition) without starting the run.
+// (bad Partition) without starting the run. g may be nil when Config.Source
+// is set (out-of-core run); adjacency then comes from per-worker storage
+// handles and a mid-run read failure aborts with a wrapped storage error.
 func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], error) {
-	n := g.NumVertices()
+	if g == nil && cfg.Source == nil {
+		return nil, fmt.Errorf("pregel: nil graph requires Config.Source")
+	}
+	n := 0
+	if g != nil {
+		n = g.NumVertices()
+	} else {
+		n = cfg.Source.NumVertices()
+	}
 	cfg.defaults(n)
 	if err := cfg.validate(n); err != nil {
 		return nil, err
+	}
+	prov := cfg.Source
+	if prov == nil {
+		if pol := storage.Default(); pol != nil && pol.Disk {
+			sp, err := pol.Spill(g, cfg.Workers)
+			if err != nil {
+				return nil, fmt.Errorf("pregel: spilling graph under storage policy: %w", err)
+			}
+			defer sp.Close()
+			prov = sp
+		}
 	}
 	c := cluster.New(cfg.Workers)
 	net := c.Network()
@@ -241,12 +312,12 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 	msgs := make([][]M, n)
 
 	legacy := cfg.Comms == CommsLegacy
-	sizeFn := func(vmsg[M]) int64 { return cfg.MsgBytes }
 	var mb *cluster.Mailboxes[vmsg[M]]
+	var lmb *cluster.Mailboxes[lmsg[M]]
 	if legacy {
-		mb = cluster.NewMailboxesLegacy[vmsg[M]](net, sizeFn)
+		lmb = cluster.NewMailboxesLegacy[lmsg[M]](net, func(lmsg[M]) int64 { return cfg.MsgBytes })
 	} else {
-		mb = cluster.NewMailboxes[vmsg[M]](net, sizeFn)
+		mb = cluster.NewMailboxes[vmsg[M]](net, func(vmsg[M]) int64 { return cfg.MsgBytes })
 	}
 	// combining key: destination vertex, refined by CombineKey when set. The
 	// staged map path uses it sender-side; the legacy oracle uses it for
@@ -261,7 +332,7 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 		// hoist the program's combiner into the substrate, combining inside
 		// the sender's staging buffer before anything reaches the wire
 		combine := func(a, b vmsg[M]) vmsg[M] {
-			return vmsg[M]{to: a.to, sender: a.sender, m: prog.Combine(a.m, b.m)}
+			return vmsg[M]{to: a.to, m: prog.Combine(a.m, b.m)}
 		}
 		if cfg.Comms == CommsDense && prog.CombineKey == nil {
 			// dense path: combining classes are exactly the destination
@@ -275,6 +346,12 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 			mb.SetCombiner(key, combine)
 		}
 	}
+	exchange := func() int64 {
+		if legacy {
+			return lmb.Exchange()
+		}
+		return mb.Exchange()
+	}
 	dlv := newDelivery[M](owned, localIdx, legacy)
 
 	// one long-lived Context per worker; superstep/halted are rewritten each
@@ -287,8 +364,11 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 			partition: cfg.Partition,
 			aggLocal:  map[string]float64{},
 		}
+		if prov != nil {
+			ctx.src = prov.Handle(w)
+		}
 		if legacy {
-			ctx.lmb = mb
+			ctx.lmb = lmb
 		} else {
 			ctx.out = mb.Outbox(w)
 		}
@@ -373,9 +453,11 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 		activeCnt[w] = cnt
 	}
 	demuxPhase := func(w int) {
-		stream := mb.Receive(w)
+		var stream []vmsg[M]
 		if legacy {
-			stream = dlv.normalizeLegacy(w, cfg.Workers, stream, key, prog.Combine)
+			stream = dlv.normalizeLegacy(w, cfg.Workers, lmb.Receive(w), key, prog.Combine)
+		} else {
+			stream = mb.Receive(w)
 		}
 		activeCnt[w] += dlv.scatter(w, stream, msgs, active)
 	}
@@ -383,6 +465,12 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 	// aggNext and eng.agg are two maps swapped every round: merge into the
 	// spare, publish it under the lock, clear the stale one for next round
 	aggNext := map[string]float64{}
+
+	// per-round disk I/O series for the trace (out-of-core runs only)
+	var stRounds []obs.StorageRound
+	var stPrev storage.IOStats
+	meterStorage := prov != nil && prov.Footprint().Metered()
+	collectRounds := meterStorage && cfg.RunOptions.Trace
 
 	steps := 0
 	for step = 0; step < cfg.MaxSupersteps; step++ {
@@ -416,13 +504,13 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 					activeCnt[w] = cnt
 				}
 				recovered = step - ckpt.step
-				mb.Exchange() // drop in-flight messages from the failed epoch
+				exchange() // drop in-flight messages from the failed epoch
 				step = ckpt.step
 			} else {
 				// no checkpoint: full restart
 				recovered = step
 				gang.Run(initPhase)
-				mb.Exchange()
+				exchange()
 				step = 0
 			}
 			fi.NoteRecovery(recovered, float64(recovered))
@@ -437,7 +525,21 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 			break
 		}
 		gang.Run(computePhase)
-		delivered := mb.Exchange()
+		for _, ctx := range ctxs {
+			if ctx.srcErr != nil {
+				return nil, fmt.Errorf("pregel: superstep %d: %w", step, ctx.srcErr)
+			}
+		}
+		if collectRounds {
+			cur := prov.Stats()
+			d := cur.Sub(stPrev)
+			stPrev = cur
+			stRounds = append(stRounds, obs.StorageRound{
+				Round: step, Hits: d.Hits, Misses: d.Misses, Evictions: d.Evictions,
+				BlocksRead: d.BlocksRead, BytesRead: d.BytesRead,
+			})
+		}
+		delivered := exchange()
 		for _, local := range aggLocals { // ascending worker rank
 			if len(local) == 0 {
 				continue
@@ -471,7 +573,30 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 		CheckpointBytes: ckptBytes, Checkpoints: ckptCount, RecoveredSteps: recovered,
 	}
 	res.Trace = obs.Finish(cfg.RunOptions, "pregel", c)
+	if res.Trace != nil && meterStorage {
+		res.Trace.Storage = storageTrace(prov, stRounds)
+	}
 	return res, nil
+}
+
+// storageTrace assembles the obs storage section from a metered provider's
+// footprint, run totals and the per-round series.
+func storageTrace(prov storage.Provider, rounds []obs.StorageRound) *obs.StorageTrace {
+	fp := prov.Footprint()
+	st := prov.Stats()
+	return &obs.StorageTrace{
+		Kind:          fp.Kind,
+		FileBytes:     fp.FileBytes,
+		ResidentBytes: fp.ResidentBytes,
+		CacheBytes:    fp.CacheBytes,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Evictions:     st.Evictions,
+		BlocksRead:    st.BlocksRead,
+		BytesRead:     st.BytesRead,
+		HitRatio:      st.HitRatio(),
+		Rounds:        rounds,
+	}
 }
 
 type engine[S, M any] struct {

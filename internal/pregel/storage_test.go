@@ -1,0 +1,155 @@
+package pregel
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"graphsys/internal/graph"
+	"graphsys/internal/graph/gen"
+	"graphsys/internal/storage"
+)
+
+// openDisk writes g to a block file and returns a cached provider sized to
+// roughly half the decoded graph, so the run actually exercises eviction.
+func openDisk(t *testing.T, g *graph.Graph, workers int, pol storage.EvictPolicy) *storage.CachedProvider {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.gsb")
+	info, err := storage.Write(path, g, storage.Options{BlockBytes: 1 << 11})
+	if err != nil {
+		t.Fatalf("storage.Write: %v", err)
+	}
+	budget := info.ResidentBytes + info.RawCSRBytes/2
+	if min := info.ResidentBytes + int64(workers)*info.MaxDecodedBytes; budget < min {
+		budget = min
+	}
+	p, err := storage.OpenCached(path, budget, workers, pol)
+	if err != nil {
+		t.Fatalf("storage.OpenCached: %v", err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+// TestPageRankDiskEquivalence is the tentpole equivalence gate: PageRank
+// from the disk-backed GraphSource (g == nil, adjacency through the bounded
+// block cache) must produce byte-identical ranks to the in-memory run at
+// workers 1, 2 and 8.
+func TestPageRankDiskEquivalence(t *testing.T) {
+	g := gen.RMAT(11, 8, 17)
+	const iters = 8
+	for _, workers := range []int{1, 2, 8} {
+		for _, pol := range []storage.EvictPolicy{storage.LRU, storage.MRU} {
+			mem, _, err := PageRank(g, iters, Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("in-memory PageRank: %v", err)
+			}
+			prov := openDisk(t, g, workers, pol)
+			disk, res, err := PageRank(nil, iters, Config{Workers: workers, Source: prov})
+			if err != nil {
+				t.Fatalf("disk PageRank (w=%d, %v): %v", workers, pol, err)
+			}
+			for v := range mem {
+				if math.Float64bits(mem[v]) != math.Float64bits(disk[v]) {
+					t.Fatalf("w=%d %v: rank[%d] differs: mem %v disk %v", workers, pol, v, mem[v], disk[v])
+				}
+			}
+			if res.Supersteps == 0 {
+				t.Fatal("disk run did no supersteps")
+			}
+			if prov.Stats().BlocksRead == 0 {
+				t.Fatalf("w=%d %v: disk run read no blocks", workers, pol)
+			}
+		}
+	}
+}
+
+// TestHashMinCCDiskEquivalence covers a data-dependent convergence workload:
+// activation patterns, superstep counts and labels must all match.
+func TestHashMinCCDiskEquivalence(t *testing.T) {
+	g := gen.RMAT(10, 4, 23) // sparse: disconnected fringe, multiple components
+	for _, workers := range []int{1, 2, 8} {
+		mem, memRes, err := HashMinCC(g, Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("in-memory HashMinCC: %v", err)
+		}
+		prov := openDisk(t, g, workers, storage.LRU)
+		disk, diskRes, err := HashMinCC(nil, Config{Workers: workers, Source: prov})
+		if err != nil {
+			t.Fatalf("disk HashMinCC (w=%d): %v", workers, err)
+		}
+		if memRes.Supersteps != diskRes.Supersteps {
+			t.Fatalf("w=%d: supersteps differ: mem %d disk %d", workers, memRes.Supersteps, diskRes.Supersteps)
+		}
+		if memRes.Net != diskRes.Net {
+			t.Fatalf("w=%d: network stats differ: mem %+v disk %+v", workers, memRes.Net, diskRes.Net)
+		}
+		for v := range mem {
+			if mem[v] != disk[v] {
+				t.Fatalf("w=%d: label[%d] differs: mem %d disk %d", workers, v, mem[v], disk[v])
+			}
+		}
+	}
+}
+
+// TestStoragePolicySpill covers the graphbench `-source disk` path: with the
+// process-global policy set, a plain in-memory Run spills to a temp block
+// file, produces identical results, and attaches the storage section to the
+// trace.
+func TestStoragePolicySpill(t *testing.T) {
+	g := gen.RMAT(10, 8, 29)
+	const iters = 5
+	mem, _, err := PageRank(g, iters, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	storage.SetDefault(&storage.Policy{
+		Disk:        true,
+		BudgetBytes: 1 << 22,
+		BlockBytes:  1 << 11,
+		Dir:         t.TempDir(),
+		Evict:       storage.MRU,
+	})
+	defer storage.SetDefault(nil)
+	cfg := Config{Workers: 2}
+	cfg.Trace = true
+	disk, res, err := PageRank(g, iters, cfg)
+	if err != nil {
+		t.Fatalf("PageRank under disk policy: %v", err)
+	}
+	for v := range mem {
+		if math.Float64bits(mem[v]) != math.Float64bits(disk[v]) {
+			t.Fatalf("rank[%d] differs under disk policy: mem %v disk %v", v, mem[v], disk[v])
+		}
+	}
+	st := res.Trace.Storage
+	if st == nil {
+		t.Fatal("trace has no storage section under disk policy")
+	}
+	if st.Kind != "disk" || st.BytesRead <= 0 || st.FileBytes <= 0 {
+		t.Fatalf("bad storage trace: %+v", st)
+	}
+	if len(st.Rounds) == 0 {
+		t.Fatal("storage trace has no per-round series")
+	}
+	var roundBytes int64
+	for _, r := range st.Rounds {
+		roundBytes += r.BytesRead
+	}
+	if roundBytes != st.BytesRead {
+		t.Fatalf("per-round bytes %d do not sum to total %d", roundBytes, st.BytesRead)
+	}
+}
+
+// TestStoragePolicyBudgetError pins the satellite contract: an impossible
+// budget is a typed error from Run, not an OOM.
+func TestStoragePolicyBudgetError(t *testing.T) {
+	g := gen.RMAT(10, 8, 31)
+	storage.SetDefault(&storage.Policy{Disk: true, BudgetBytes: 128, Dir: t.TempDir()})
+	defer storage.SetDefault(nil)
+	_, _, err := PageRank(g, 3, Config{Workers: 2})
+	if !errors.Is(err, storage.ErrBudget) {
+		t.Fatalf("got %v, want wrapped storage.ErrBudget", err)
+	}
+}

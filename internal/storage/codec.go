@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"encoding/binary"
+
+	"graphsys/internal/graph"
+)
+
+// The adjacency codec: a vertex's sorted, strictly increasing neighbor list
+// is stored as the first id as a uvarint, then (gap−1) uvarints for each
+// subsequent id (gap ≥ 1 because the list is strictly increasing — the −1
+// keeps the common gap-of-one at a single zero byte). Degrees are NOT stored
+// in the block: they live in the file's resident degree table, so the
+// decoder always knows how many ids to read.
+
+// appendAdj gap-encodes adj onto dst and returns the extended slice. adj
+// must be strictly increasing; a violation is reported as an error so a
+// caller bug cannot silently write an undecodable file.
+func appendAdj(dst []byte, adj []graph.V) ([]byte, error) {
+	if len(adj) == 0 {
+		return dst, nil
+	}
+	if adj[0] < 0 {
+		return dst, errFormat("negative neighbor id %d", adj[0])
+	}
+	dst = binary.AppendUvarint(dst, uint64(adj[0]))
+	prev := adj[0]
+	for _, v := range adj[1:] {
+		if v <= prev {
+			return dst, errFormat("neighbor list not strictly increasing (%d after %d)", v, prev)
+		}
+		dst = binary.AppendUvarint(dst, uint64(v-prev-1))
+		prev = v
+	}
+	return dst, nil
+}
+
+// decodeAdj reads deg gap-encoded ids from data into out (which must have
+// length deg), validating ids stay in [0, n). It returns the remaining data.
+func decodeAdj(out []graph.V, data []byte, deg int, n int) ([]byte, error) {
+	if deg == 0 {
+		return data, nil
+	}
+	first, k := binary.Uvarint(data)
+	if k <= 0 {
+		return nil, errCorrupt("truncated varint at first neighbor")
+	}
+	data = data[k:]
+	if first >= uint64(n) {
+		return nil, errCorrupt("neighbor id %d out of range [0,%d)", first, n)
+	}
+	out[0] = graph.V(first)
+	prev := uint64(first)
+	for i := 1; i < deg; i++ {
+		gap, k := binary.Uvarint(data)
+		if k <= 0 {
+			return nil, errCorrupt("truncated varint at neighbor %d", i)
+		}
+		data = data[k:]
+		if gap >= uint64(n) { // also guards the prev += gap+1 below against wraparound
+			return nil, errCorrupt("neighbor gap %d out of range at neighbor %d", gap, i)
+		}
+		prev += gap + 1
+		if prev >= uint64(n) {
+			return nil, errCorrupt("neighbor id %d out of range [0,%d)", prev, n)
+		}
+		out[i] = graph.V(prev)
+	}
+	return data, nil
+}

@@ -1,0 +1,148 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"graphsys/internal/graph"
+)
+
+func roundTrip(t *testing.T, adj []graph.V, n int) {
+	t.Helper()
+	enc, err := appendAdj(nil, adj)
+	if err != nil {
+		t.Fatalf("appendAdj(%v): %v", adj, err)
+	}
+	out := make([]graph.V, len(adj))
+	rest, err := decodeAdj(out, enc, len(adj), n)
+	if err != nil {
+		t.Fatalf("decodeAdj(%v): %v", adj, err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decodeAdj left %d trailing bytes", len(rest))
+	}
+	for i := range adj {
+		if out[i] != adj[i] {
+			t.Fatalf("round trip mismatch at %d: got %v want %v", i, out, adj)
+		}
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	n := 1 << 20
+	cases := [][]graph.V{
+		nil,
+		{0},
+		{graph.V(n - 1)},
+		{0, graph.V(n - 1)},                // maximal gap
+		{0, 1, 2, 3, 4, 5, 6, 7},           // gap-of-one runs: one byte each
+		{5, 100, 101, 1 << 10, 1 << 19},    // mixed gaps
+		{graph.V(n - 3), graph.V(n - 1)},   // near the top of the id space
+		{1, 2, 4, 8, 16, 32, 64, 128, 256}, // doubling gaps
+	}
+	// A dense single-vertex "megablock": a vertex adjacent to every even id.
+	mega := make([]graph.V, 0, n/2)
+	for v := 0; v < n; v += 2 {
+		mega = append(mega, graph.V(v))
+	}
+	cases = append(cases, mega)
+	for _, adj := range cases {
+		roundTrip(t, adj, n)
+	}
+}
+
+func TestCodecRandomLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 10_000
+	for trial := 0; trial < 200; trial++ {
+		deg := rng.Intn(64)
+		seen := map[graph.V]bool{}
+		for len(seen) < deg {
+			seen[graph.V(rng.Intn(n))] = true
+		}
+		adj := make([]graph.V, 0, deg)
+		for v := graph.V(0); int(v) < n; v++ {
+			if seen[v] {
+				adj = append(adj, v)
+			}
+		}
+		roundTrip(t, adj, n)
+	}
+}
+
+func TestCodecRejectsUnsortedInput(t *testing.T) {
+	if _, err := appendAdj(nil, []graph.V{3, 2}); err == nil {
+		t.Fatal("appendAdj accepted a decreasing list")
+	}
+	if _, err := appendAdj(nil, []graph.V{2, 2}); err == nil {
+		t.Fatal("appendAdj accepted a duplicate")
+	}
+	if _, err := appendAdj(nil, []graph.V{-1, 2}); err == nil {
+		t.Fatal("appendAdj accepted a negative id")
+	}
+}
+
+func TestCodecDecodeErrors(t *testing.T) {
+	enc, err := appendAdj(nil, []graph.V{1, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]graph.V, 4)
+	// Asking for more ids than encoded must error, not read garbage.
+	if _, err := decodeAdj(out, enc, 4, 100); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("over-long decode: got %v, want ErrCorrupt", err)
+	}
+	// Ids escaping [0, n) must error.
+	if _, err := decodeAdj(out[:3], enc, 3, 9); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("out-of-range decode: got %v, want ErrCorrupt", err)
+	}
+	// Truncated data must error.
+	if _, err := decodeAdj(out[:3], enc[:1], 3, 100); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated decode: got %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzCodec fuzzes both directions: decoding arbitrary bytes must return a
+// typed error or a strictly increasing in-range list (never panic, never
+// garbage), and any list that decodes cleanly must survive an
+// encode→decode round trip. (Byte-level bijection is not claimed: stdlib
+// Uvarint tolerates over-long varint encodings.)
+func FuzzCodec(f *testing.F) {
+	f.Add([]byte{0x00}, uint8(1))
+	f.Add([]byte{0x03, 0x00, 0x00}, uint8(3))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x0f}, uint8(1))
+	seed, _ := appendAdj(nil, []graph.V{2, 7, 8, 4000})
+	f.Add(seed, uint8(4))
+	f.Fuzz(func(t *testing.T, data []byte, degByte uint8) {
+		const n = 1 << 20
+		deg := int(degByte)
+		out := make([]graph.V, deg)
+		rest, err := decodeAdj(out, data, deg, n)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error not ErrCorrupt: %v", err)
+			}
+			return
+		}
+		for i := 1; i < deg; i++ {
+			if out[i] <= out[i-1] {
+				t.Fatalf("decoded list not strictly increasing: %v", out)
+			}
+		}
+		_ = rest
+		reenc, err := appendAdj(nil, out)
+		if err != nil {
+			t.Fatalf("re-encoding decoded list: %v", err)
+		}
+		out2 := make([]graph.V, deg)
+		if _, err := decodeAdj(out2, reenc, deg, n); err != nil {
+			t.Fatalf("decoding re-encoded list: %v", err)
+		}
+		for i := range out {
+			if out2[i] != out[i] {
+				t.Fatalf("round trip mismatch at %d: %v vs %v", i, out2, out)
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+
+	"graphsys/internal/graph"
+)
+
+// Policy is the process-global storage mode, the hook behind graphbench's
+// `-source disk -memory-budget N` flags: when Disk is set, engines whose
+// Config carries no explicit Source spill their in-memory graph to a
+// temporary block file and run through the bounded cache instead of the CSR
+// arrays. Like tensor.SetParallelism, it is set once at process startup
+// before any engine runs.
+type Policy struct {
+	// Disk routes engine adjacency access through a spilled block file.
+	Disk bool
+	// BudgetBytes is the total memory budget per engine run (resident part
+	// plus all workers' cache). An explicit budget is enforced exactly
+	// (ErrBudget if infeasible). 0 means a default of half the raw CSR size,
+	// raised to the feasibility minimum when the graph is too small for that
+	// to hold one decoded block per worker.
+	BudgetBytes int64
+	// BlockBytes is the target encoded block size (0 = DefaultBlockBytes).
+	BlockBytes int
+	// Dir is where spill files are created ("" = os.TempDir()).
+	Dir string
+	// Evict is the cache eviction policy for spilled providers.
+	Evict EvictPolicy
+}
+
+var (
+	policyMu      sync.Mutex
+	defaultPolicy *Policy
+)
+
+// SetDefault installs the process-global storage policy (nil restores the
+// in-memory default).
+func SetDefault(p *Policy) {
+	policyMu.Lock()
+	defaultPolicy = p
+	policyMu.Unlock()
+}
+
+// Default returns the current process-global policy, or nil if none is set.
+func Default() *Policy {
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	return defaultPolicy
+}
+
+// Spill writes g to a temporary block file under the policy's directory and
+// opens a cached provider over it with per-worker handles. Closing the
+// provider removes the spill file. Budget violations surface as a wrapped
+// ErrBudget at spill time, not as an OOM mid-run.
+func (p *Policy) Spill(g *graph.Graph, workers int) (*CachedProvider, error) {
+	dir := p.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	tmp, err := os.CreateTemp(dir, "spill-*.gsb")
+	if err != nil {
+		return nil, err
+	}
+	path := tmp.Name()
+	tmp.Close()
+	info, err := Write(path, g, Options{BlockBytes: p.BlockBytes})
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	budget := p.BudgetBytes
+	if budget <= 0 {
+		budget = info.RawCSRBytes / 2
+		if min := info.ResidentBytes + int64(workers)*info.MaxDecodedBytes; budget < min {
+			budget = min
+		}
+	}
+	cp, err := OpenCached(path, budget, workers, p.Evict)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	cp.removeOnClose = path
+	return cp, nil
+}
+
+// removeFile removes a spill file, tolerating an already-removed path.
+func removeFile(path string) error {
+	err := os.Remove(path)
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// TempPath returns a fresh path for a block file under dir (or os.TempDir())
+// without creating it, for callers that build files via Write/WriteStream.
+func TempPath(dir, pattern string) (string, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return "", err
+	}
+	path := f.Name()
+	f.Close()
+	os.Remove(path)
+	return filepath.Clean(path), nil
+}

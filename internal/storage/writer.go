@@ -1,0 +1,327 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"graphsys/internal/graph"
+)
+
+// Options configure block-file construction.
+type Options struct {
+	// BlockBytes is the target encoded payload size of one block. Vertices
+	// are packed greedily until the next vertex would push the payload past
+	// the target; a single vertex whose encoding alone exceeds the target
+	// gets its own oversized block. 0 means DefaultBlockBytes.
+	BlockBytes int
+}
+
+func (o Options) blockBytes() int {
+	if o.BlockBytes <= 0 {
+		return DefaultBlockBytes
+	}
+	return o.BlockBytes
+}
+
+// Info summarizes a written block file.
+type Info struct {
+	Path            string
+	NumVertices     int
+	NumArcs         int64
+	NumBlocks       int
+	FileBytes       int64
+	MaxDecodedBytes int64
+	ResidentBytes   int64 // degree table + block index
+	RawCSRBytes     int64 // in-memory CSR footprint the file replaces
+}
+
+// CompressionRatio returns RawCSRBytes / FileBytes.
+func (i *Info) CompressionRatio() float64 {
+	if i.FileBytes == 0 {
+		return 0
+	}
+	return float64(i.RawCSRBytes) / float64(i.FileBytes)
+}
+
+// Write encodes g into the block-CSR file at path. The output is a
+// deterministic function of g's adjacency, the directedness flag and
+// opts.BlockBytes.
+func Write(path string, g *graph.Graph, opts Options) (*Info, error) {
+	bw, err := newBlockWriter(path, g.NumVertices(), opts)
+	if err != nil {
+		return nil, err
+	}
+	defer bw.abort()
+	for v := graph.V(0); int(v) < g.NumVertices(); v++ {
+		if err := bw.add(v, g.Neighbors(v)); err != nil {
+			return nil, err
+		}
+	}
+	return bw.finish(g.Directed())
+}
+
+// WriteStream builds the block-CSR file for a graph defined by an arc
+// stream, without materializing a *graph.Graph (no global arc sort — a
+// counting-sort CSR build, then per-vertex sorts). arcs is invoked twice and
+// must emit the identical arc sequence both times (e.g. a seeded generator);
+// for an undirected graph it must emit both directions of every edge.
+// Self-loops are dropped and duplicate arcs deduplicated, matching
+// graph.Builder semantics, so WriteStream and Write produce byte-identical
+// files for the same logical graph.
+func WriteStream(path string, n int, directed bool, arcs func(emit func(u, v graph.V)), opts Options) (*Info, error) {
+	cnt := make([]int64, n+1)
+	var bad error
+	arcs(func(u, v graph.V) {
+		if bad != nil {
+			return
+		}
+		if int(u) >= n || u < 0 || int(v) >= n || v < 0 {
+			bad = errFormat("arc (%d,%d) out of range [0,%d)", u, v, n)
+			return
+		}
+		if u != v {
+			cnt[u+1]++
+		}
+	})
+	if bad != nil {
+		return nil, bad
+	}
+	for v := 1; v <= n; v++ {
+		cnt[v] += cnt[v-1]
+	}
+	offs := cnt // cnt is now the offset table; fill positions advance it
+	adj := make([]graph.V, offs[n])
+	fill := make([]int64, n)
+	copy(fill, offs[:n])
+	arcs(func(u, v graph.V) {
+		if u != v {
+			adj[fill[u]] = v
+			fill[u]++
+		}
+	})
+
+	bw, err := newBlockWriter(path, n, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer bw.abort()
+	for v := 0; v < n; v++ {
+		ns := adj[offs[v]:offs[v+1]]
+		slices.Sort(ns)
+		ns = slices.Compact(ns)
+		if err := bw.add(graph.V(v), ns); err != nil {
+			return nil, err
+		}
+	}
+	return bw.finish(directed)
+}
+
+// blockWriter packs successive (vertex, adjacency) pairs into blocks. Block
+// payloads stream to a temp file while the index and degree table accumulate
+// in memory; finish assembles header + index + degrees + blocks into the
+// final file.
+type blockWriter struct {
+	path    string
+	tmp     *os.File
+	tmpW    *bufio.Writer
+	target  int
+	n       int
+	next    graph.V
+	cur     []byte // current block payload
+	scratch []byte // one vertex's encoding
+	first   graph.V
+	count   int32
+	arcsCur int32
+
+	idx        []BlockMeta
+	degs       []int32
+	off        int64 // next block's offset relative to the blocks section
+	arcs       int64
+	maxDecoded int64
+	done       bool
+}
+
+func newBlockWriter(path string, n int, opts Options) (*blockWriter, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".gsb-blocks-*")
+	if err != nil {
+		return nil, err
+	}
+	return &blockWriter{
+		path:   path,
+		tmp:    tmp,
+		tmpW:   bufio.NewWriterSize(tmp, 1<<20),
+		target: opts.blockBytes(),
+		n:      n,
+		degs:   make([]int32, 0, n),
+	}, nil
+}
+
+// abort removes the temp file; a no-op after finish.
+func (bw *blockWriter) abort() {
+	if bw.done {
+		return
+	}
+	bw.tmp.Close()
+	os.Remove(bw.tmp.Name())
+}
+
+// add appends vertex v (which must be the next vertex in order) with its
+// sorted, deduplicated adjacency.
+func (bw *blockWriter) add(v graph.V, adj []graph.V) error {
+	if v != bw.next {
+		return errFormat("vertices must be added in order: got %d, want %d", v, bw.next)
+	}
+	bw.next++
+	var err error
+	bw.scratch, err = appendAdj(bw.scratch[:0], adj)
+	if err != nil {
+		return fmt.Errorf("vertex %d: %w", v, err)
+	}
+	if bw.count > 0 && len(bw.cur)+len(bw.scratch) > bw.target {
+		if err := bw.flush(); err != nil {
+			return err
+		}
+	}
+	if bw.count == 0 {
+		bw.first = v
+	}
+	bw.cur = append(bw.cur, bw.scratch...)
+	bw.count++
+	bw.arcsCur += int32(len(adj))
+	bw.degs = append(bw.degs, int32(len(adj)))
+	bw.arcs += int64(len(adj))
+	return nil
+}
+
+// flush writes the current block's payload + CRC to the temp file and
+// records its index entry.
+func (bw *blockWriter) flush() error {
+	m := BlockMeta{
+		First:    bw.first,
+		Count:    bw.count,
+		ArcCount: bw.arcsCur,
+		EncLen:   int32(len(bw.cur)),
+		Off:      bw.off,
+	}
+	if _, err := bw.tmpW.Write(bw.cur); err != nil {
+		return err
+	}
+	var crc [crcBytes]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(bw.cur))
+	if _, err := bw.tmpW.Write(crc[:]); err != nil {
+		return err
+	}
+	if d := m.decodedBytes(); d > bw.maxDecoded {
+		bw.maxDecoded = d
+	}
+	bw.idx = append(bw.idx, m)
+	bw.off += int64(m.EncLen) + crcBytes
+	bw.cur = bw.cur[:0]
+	bw.count = 0
+	bw.arcsCur = 0
+	return nil
+}
+
+// finish flushes the last block, assembles the final file and removes the
+// temp file.
+func (bw *blockWriter) finish(directed bool) (*Info, error) {
+	if int(bw.next) != bw.n {
+		return nil, errFormat("finish after %d of %d vertices", bw.next, bw.n)
+	}
+	if bw.count > 0 {
+		if err := bw.flush(); err != nil {
+			return nil, err
+		}
+	}
+	if err := bw.tmpW.Flush(); err != nil {
+		return nil, err
+	}
+
+	out, err := os.Create(bw.path)
+	if err != nil {
+		return nil, err
+	}
+	w := bufio.NewWriterSize(out, 1<<20)
+	le := binary.LittleEndian
+
+	blocksStart := int64(headerBytes) + int64(len(bw.idx))*indexEntryBytes + int64(bw.n)*4
+	var hdr [headerBytes]byte
+	le.PutUint32(hdr[0:4], fileMagic)
+	le.PutUint32(hdr[4:8], fileVersion)
+	var flags uint32
+	if directed {
+		flags |= flagDirected
+	}
+	le.PutUint32(hdr[8:12], flags)
+	le.PutUint32(hdr[12:16], uint32(bw.target))
+	le.PutUint64(hdr[16:24], uint64(bw.n))
+	le.PutUint64(hdr[24:32], uint64(bw.arcs))
+	le.PutUint32(hdr[32:36], uint32(len(bw.idx)))
+	le.PutUint32(hdr[36:40], uint32(bw.maxDecoded))
+	if _, err := w.Write(hdr[:]); err != nil {
+		out.Close()
+		return nil, err
+	}
+
+	var ent [indexEntryBytes]byte
+	for _, m := range bw.idx {
+		le.PutUint32(ent[0:4], uint32(m.First))
+		le.PutUint32(ent[4:8], uint32(m.Count))
+		le.PutUint32(ent[8:12], uint32(m.ArcCount))
+		le.PutUint32(ent[12:16], uint32(m.EncLen))
+		le.PutUint64(ent[16:24], uint64(blocksStart+m.Off))
+		if _, err := w.Write(ent[:]); err != nil {
+			out.Close()
+			return nil, err
+		}
+	}
+
+	dbuf := make([]byte, 4096)
+	for i := 0; i < bw.n; {
+		k := 0
+		for ; k < len(dbuf) && i < bw.n; i, k = i+1, k+4 {
+			le.PutUint32(dbuf[k:], uint32(bw.degs[i]))
+		}
+		if _, err := w.Write(dbuf[:k]); err != nil {
+			out.Close()
+			return nil, err
+		}
+	}
+
+	if _, err := bw.tmp.Seek(0, io.SeekStart); err != nil {
+		out.Close()
+		return nil, err
+	}
+	if _, err := io.Copy(w, bw.tmp); err != nil {
+		out.Close()
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return nil, err
+	}
+	if err := out.Close(); err != nil {
+		return nil, err
+	}
+	bw.tmp.Close()
+	os.Remove(bw.tmp.Name())
+	bw.done = true
+
+	info := &Info{
+		Path:            bw.path,
+		NumVertices:     bw.n,
+		NumArcs:         bw.arcs,
+		NumBlocks:       len(bw.idx),
+		FileBytes:       blocksStart + bw.off,
+		MaxDecodedBytes: bw.maxDecoded,
+		ResidentBytes:   int64(bw.n)*4 + int64(len(bw.idx))*indexEntryBytes,
+		RawCSRBytes:     int64(bw.n+1)*8 + bw.arcs*4,
+	}
+	return info, nil
+}
