@@ -1,18 +1,29 @@
 // Command graphlint runs the repo's contract checks (internal/lint) over the
 // module and prints positioned diagnostics in deterministic order.
 //
-//	go run ./cmd/graphlint ./...            # whole module (the make lint target)
+//	go run ./cmd/graphlint ./...            # whole module
 //	go run ./cmd/graphlint ./internal/pregel
 //	go run ./cmd/graphlint -json ./...      # machine-readable output
 //	go run ./cmd/graphlint -checks maprange,wallclock ./...
 //	go run ./cmd/graphlint -doc             # list checks and their contracts
+//	go run ./cmd/graphlint -timing -budget 5s ./...   # the make lint target
 //
 // -root/-module point the driver at a tree other than the enclosing module
 // (the golden fixtures are the motivating case):
 //
 //	go run ./cmd/graphlint -root internal/lint/testdata/src -module fixture ./...
 //
-// Exit status: 0 clean, 1 diagnostics reported, 2 driver error.
+// Baselines let a new check land warn-only on legacy paths while gating new
+// code: -write-baseline snapshots the current diagnostics as sorted JSON;
+// -baseline filters them out of later runs (matching check+file+message with
+// multiplicity, so legacy files can move lines without churn) and only fresh
+// diagnostics fail the run.
+//
+//	go run ./cmd/graphlint -write-baseline lint-baseline.json ./...
+//	go run ./cmd/graphlint -baseline lint-baseline.json ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 driver error (including a
+// blown -budget).
 package main
 
 import (
@@ -22,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"graphsys/internal/lint"
 )
@@ -32,6 +44,10 @@ func main() {
 	doc := flag.Bool("doc", false, "print the checks and the contracts they enforce")
 	rootFlag := flag.String("root", "", "analyse this tree instead of the enclosing module (e.g. the lint fixtures)")
 	moduleFlag := flag.String("module", "", "module path of -root (import-resolution prefix; default: enclosing module's)")
+	baselineFlag := flag.String("baseline", "", "filter diagnostics through this accepted-diagnostics baseline file")
+	writeBaseline := flag.String("write-baseline", "", "write the run's diagnostics to this baseline file and exit 0")
+	timing := flag.Bool("timing", false, "print per-check wall time to stderr")
+	budget := flag.Duration("budget", 0, "fail (exit 2) if the whole run exceeds this duration (0 = no budget)")
 	flag.Parse()
 
 	if *doc {
@@ -60,9 +76,14 @@ func main() {
 	cfg := lint.Default()
 	cfg.ModulePath = modpath
 
-	diags, err := lint.Run(root, cfg, checks)
+	diags, timings, err := lint.RunTimed(root, cfg, checks)
 	if err != nil {
 		fail(err)
+	}
+	if *timing {
+		for _, t := range timings {
+			fmt.Fprintf(os.Stderr, "graphlint: %-12s %8.3fs\n", t.Name, t.Seconds)
+		}
 	}
 	if scopes := argScopes(root, flag.Args()); scopes != nil {
 		kept := diags[:0]
@@ -75,6 +96,31 @@ func main() {
 			}
 		}
 		diags = kept
+	}
+
+	if *writeBaseline != "" {
+		if err := lint.WriteBaseline(*writeBaseline, diags); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "graphlint: wrote %d diagnostic(s) to baseline %s\n", len(diags), *writeBaseline)
+		checkBudget(timings, *budget)
+		return
+	}
+	if *baselineFlag != "" {
+		base, err := lint.LoadBaseline(*baselineFlag)
+		if err != nil {
+			fail(err)
+		}
+		var accepted int
+		var unused []lint.BaselineEntry
+		diags, accepted, unused = lint.ApplyBaseline(diags, base)
+		if accepted > 0 {
+			fmt.Fprintf(os.Stderr, "graphlint: %d diagnostic(s) accepted by baseline %s\n", accepted, *baselineFlag)
+		}
+		for _, e := range unused {
+			fmt.Fprintf(os.Stderr, "graphlint: baseline entry no longer occurs (re-tighten the baseline): %s %s: %s (×%d)\n",
+				e.Check, e.File, e.Message, e.Count)
+		}
 	}
 
 	if *jsonOut {
@@ -96,6 +142,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "graphlint: %d contract violation(s)\n", len(diags))
 		}
 		os.Exit(1)
+	}
+	checkBudget(timings, *budget)
+}
+
+// checkBudget enforces -budget against the run's total wall time, keeping
+// the interprocedural passes honest in make lint.
+func checkBudget(timings []lint.Timing, budget time.Duration) {
+	if budget <= 0 {
+		return
+	}
+	for _, t := range timings {
+		if t.Name == "total" && t.Seconds > budget.Seconds() {
+			fail(fmt.Errorf("graphlint: run took %.3fs, over the %s budget", t.Seconds, budget))
+		}
 	}
 }
 

@@ -34,3 +34,59 @@ func TestSortedKeysEmpty(t *testing.T) {
 		t.Fatalf("got %v, want empty", ks)
 	}
 }
+
+func TestSortedKeysNil(t *testing.T) {
+	var m map[string]struct{}
+	ks := SortedKeys(m)
+	if len(ks) != 0 {
+		t.Fatalf("nil map: got %v, want empty", ks)
+	}
+	if ks == nil {
+		t.Fatal("nil map: want an empty (non-nil) slice, so callers can range and append uniformly")
+	}
+}
+
+func TestSortedKeysUint64(t *testing.T) {
+	m := map[uint64]bool{1 << 40: true, 3: true, 1 << 20: true, 0: true}
+	ks := SortedKeys(m)
+	want := []uint64{0, 3, 1 << 20, 1 << 40}
+	for i, k := range ks {
+		if k != want[i] {
+			t.Fatalf("got %v, want %v", ks, want)
+		}
+	}
+}
+
+func TestSortedKeysFloat64(t *testing.T) {
+	m := map[float64]int{2.5: 1, -1.5: 2, 0: 3}
+	ks := SortedKeys(m)
+	want := []float64{-1.5, 0, 2.5}
+	for i, k := range ks {
+		if k != want[i] {
+			t.Fatalf("got %v, want %v", ks, want)
+		}
+	}
+}
+
+func TestSortedKeysInt32(t *testing.T) {
+	m := map[int32]string{-7: "a", 42: "b", 0: "c"}
+	ks := SortedKeys(m)
+	want := []int32{-7, 0, 42}
+	for i, k := range ks {
+		if k != want[i] {
+			t.Fatalf("got %v, want %v", ks, want)
+		}
+	}
+}
+
+// TestSortedKeysSingleton pins the len==cap preallocation contract: one key,
+// one slot.
+func TestSortedKeysSingleton(t *testing.T) {
+	ks := SortedKeys(map[int]int{9: 1})
+	if len(ks) != 1 || ks[0] != 9 {
+		t.Fatalf("got %v, want [9]", ks)
+	}
+	if cap(ks) != 1 {
+		t.Fatalf("cap=%d, want exactly the key count (no over-allocation)", cap(ks))
+	}
+}

@@ -142,7 +142,6 @@ func CapStorage() *Table {
 // where only the first value is needed.
 func must3a[A, B any](a A, _ B, err error) A {
 	if err != nil {
-		//lint:allow panicpolicy experiments surface engine errors by panicking into graphbench's recover
 		panic(err)
 	}
 	return a

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A baseline is a committed snapshot of accepted diagnostics, so a new check
+// can land warn-only on legacy paths while still gating new code: anything
+// in the baseline is filtered out of the run, anything fresh fails it.
+// Entries match on (check, file, message) with multiplicity — deliberately
+// not on line/column, so unrelated edits to a legacy file do not churn the
+// baseline — and the file is sorted JSON, so regeneration is diff-stable.
+
+// BaselineEntry is one accepted diagnostic shape; Count is how many
+// identical instances the baseline absorbs.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Check + "\x00" + e.File + "\x00" + e.Message
+}
+
+// WriteBaseline snapshots diags to path as sorted, indented JSON.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	counts := map[string]*BaselineEntry{}
+	for _, d := range diags {
+		e := BaselineEntry{Check: d.Check, File: d.File, Message: d.Message}
+		if prev := counts[e.key()]; prev != nil {
+			prev.Count++
+			continue
+		}
+		e.Count = 1
+		counts[e.key()] = &e
+	}
+	entries := make([]BaselineEntry, 0, len(counts))
+	for _, e := range counts {
+		entries = append(entries, *e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("graphlint: baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// ApplyBaseline splits diags into the fresh ones (not absorbed by the
+// baseline) and the number accepted; unused reports baseline entries whose
+// diagnostics no longer occur (with the residual count), so a shrinking
+// legacy surface is visible and the baseline can be re-tightened.
+func ApplyBaseline(diags []Diagnostic, base []BaselineEntry) (fresh []Diagnostic, accepted int, unused []BaselineEntry) {
+	remaining := map[string]int{}
+	for _, e := range base {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		remaining[e.key()] += n
+	}
+	for _, d := range diags {
+		key := BaselineEntry{Check: d.Check, File: d.File, Message: d.Message}.key()
+		if remaining[key] > 0 {
+			remaining[key]--
+			accepted++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range base {
+		if n := remaining[e.key()]; n > 0 {
+			e.Count = n
+			unused = append(unused, e)
+			remaining[e.key()] = 0
+		}
+	}
+	return fresh, accepted, unused
+}

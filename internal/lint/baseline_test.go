@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFileString(path string) (string, error) {
+	b, err := os.ReadFile(path)
+	return string(b), err
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Check: "hotalloc", File: "internal/x/a.go", Line: 10, Col: 2, Message: "make allocates on the hot path [r → f]"},
+		{Check: "hotalloc", File: "internal/x/a.go", Line: 20, Col: 2, Message: "make allocates on the hot path [r → f]"},
+		{Check: "lockorder", File: "internal/y/b.go", Line: 5, Col: 1, Message: "lock order inversion"},
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 2 {
+		t.Fatalf("got %d entries, want 2 (identical diagnostics collapse with a count): %+v", len(base), base)
+	}
+	// sorted by (check, file, message)
+	if base[0].Check != "hotalloc" || base[0].Count != 2 {
+		t.Fatalf("first entry = %+v, want hotalloc ×2", base[0])
+	}
+	if base[1].Check != "lockorder" || base[1].Count != 1 {
+		t.Fatalf("second entry = %+v, want lockorder ×1", base[1])
+	}
+}
+
+func TestApplyBaselineFiltersWithMultiplicity(t *testing.T) {
+	base := []BaselineEntry{
+		{Check: "hotalloc", File: "internal/x/a.go", Message: "make allocates on the hot path [r → f]", Count: 1},
+	}
+	diags := []Diagnostic{
+		// same shape at two different lines: the baseline absorbs exactly one
+		{Check: "hotalloc", File: "internal/x/a.go", Line: 10, Message: "make allocates on the hot path [r → f]"},
+		{Check: "hotalloc", File: "internal/x/a.go", Line: 99, Message: "make allocates on the hot path [r → f]"},
+	}
+	fresh, accepted, unused := ApplyBaseline(diags, base)
+	if accepted != 1 || len(fresh) != 1 || len(unused) != 0 {
+		t.Fatalf("accepted=%d fresh=%d unused=%d, want 1/1/0", accepted, len(fresh), len(unused))
+	}
+	if fresh[0].Line != 99 {
+		t.Fatalf("fresh diagnostic at line %d, want the second occurrence (99)", fresh[0].Line)
+	}
+}
+
+func TestApplyBaselineLineInsensitive(t *testing.T) {
+	base := []BaselineEntry{
+		{Check: "hotalloc", File: "internal/x/a.go", Message: "make allocates on the hot path [r → f]", Count: 1},
+	}
+	moved := []Diagnostic{
+		{Check: "hotalloc", File: "internal/x/a.go", Line: 345, Col: 7, Message: "make allocates on the hot path [r → f]"},
+	}
+	fresh, accepted, _ := ApplyBaseline(moved, base)
+	if accepted != 1 || len(fresh) != 0 {
+		t.Fatalf("a moved diagnostic (same check+file+message) must still match: accepted=%d fresh=%v", accepted, fresh)
+	}
+}
+
+func TestApplyBaselineReportsUnused(t *testing.T) {
+	base := []BaselineEntry{
+		{Check: "hotalloc", File: "internal/gone.go", Message: "make allocates on the hot path [r → f]", Count: 3},
+	}
+	fresh, accepted, unused := ApplyBaseline(nil, base)
+	if accepted != 0 || len(fresh) != 0 {
+		t.Fatalf("accepted=%d fresh=%v, want 0/none", accepted, fresh)
+	}
+	if len(unused) != 1 || unused[0].Count != 3 {
+		t.Fatalf("unused=%+v, want the whole ×3 entry reported so the baseline can be re-tightened", unused)
+	}
+}
+
+func TestWriteBaselineIsDiffStable(t *testing.T) {
+	diags := []Diagnostic{
+		{Check: "b", File: "f2.go", Message: "m2"},
+		{Check: "a", File: "f1.go", Message: "m1"},
+		{Check: "a", File: "f1.go", Message: "m1"},
+	}
+	dir := t.TempDir()
+	p1, p2 := filepath.Join(dir, "one.json"), filepath.Join(dir, "two.json")
+	if err := WriteBaseline(p1, diags); err != nil {
+		t.Fatal(err)
+	}
+	// reversed input order must serialize identically
+	rev := []Diagnostic{diags[2], diags[1], diags[0]}
+	if err := WriteBaseline(p2, rev); err != nil {
+		t.Fatal(err)
+	}
+	b1, err1 := readFileString(p1)
+	b2, err2 := readFileString(p2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if b1 != b2 {
+		t.Fatalf("baseline bytes depend on input order:\n%s\nvs\n%s", b1, b2)
+	}
+	if !strings.HasSuffix(b1, "\n") {
+		t.Fatal("baseline file must end with a newline")
+	}
+}

@@ -1,0 +1,417 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds the module call graph the interprocedural checks
+// (hotalloc, lockorder) run on. It is deliberately monomorphic: an edge
+// exists only where the callee resolves statically to a module-local
+// function — a direct call, a method call on a concrete receiver, a deferred
+// or go'd call, a method value, or a function value mentioned outside call
+// position (a "ref" edge: passing a function around is conservatively
+// treated as calling it). Calls through function-typed fields or variables
+// and through interface methods produce no edge; the checks document that as
+// their soundness boundary, and the repo's hot paths are written to stay
+// monomorphic precisely so this analysis can see them.
+
+// edgeKind says how a callee is reached from its caller.
+type edgeKind int
+
+const (
+	edgeCall  edgeKind = iota // f()
+	edgeDefer                 // defer f()
+	edgeGo                    // go f()
+	edgeRef                   // f mentioned outside call position
+)
+
+func (k edgeKind) String() string {
+	switch k {
+	case edgeDefer:
+		return "defer"
+	case edgeGo:
+		return "go"
+	case edgeRef:
+		return "ref"
+	}
+	return "call"
+}
+
+// funcNode is one function or function literal in the module. IDs are stable
+// and human-readable: "internal/cluster.(*Outbox).Send" for methods,
+// "internal/pregel.Run" for functions, and "<parent>$<n>" for the n-th
+// function literal inside parent (pre-order, 1-based, per nesting level).
+type funcNode struct {
+	id   string
+	rel  string // module-relative package dir
+	pass *Pass
+	file *ast.File
+	body *ast.BlockStmt
+	pos  token.Pos
+	hot  bool // declared a hot-path root via //lint:hotpath
+	out  []*callEdge
+}
+
+// short strips the package qualifier for compact chain rendering.
+func (n *funcNode) short() string {
+	return strings.TrimPrefix(n.id, n.rel+".")
+}
+
+// callEdge is one resolved caller→callee edge with provenance.
+type callEdge struct {
+	to   *funcNode
+	pos  token.Pos
+	kind edgeKind
+}
+
+type callGraph struct {
+	nodes map[string]*funcNode
+	order []string // sorted node IDs, the graph's deterministic iteration order
+	byObj map[types.Object]*funcNode
+	byLit map[*ast.FuncLit]*funcNode
+}
+
+func (g *callGraph) add(n *funcNode) {
+	g.nodes[n.id] = n
+	g.order = append(g.order, n.id)
+}
+
+// sorted returns every node in ID order.
+func (g *callGraph) sorted() []*funcNode {
+	out := make([]*funcNode, 0, len(g.order))
+	for _, id := range g.order {
+		out = append(out, g.nodes[id])
+	}
+	return out
+}
+
+// declID renders the stable ID of a declared function.
+func declID(rel string, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return rel + "." + name
+	}
+	t := fd.Recv.List[0].Type
+	star := false
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			star = true
+			t = tt.X
+		case *ast.ParenExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver: drop type params from the ID
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			if star {
+				return rel + ".(*" + tt.Name + ")." + name
+			}
+			return rel + ".(" + tt.Name + ")." + name
+		default:
+			return rel + "." + name
+		}
+	}
+}
+
+// buildCallGraph indexes every function and function literal in the module,
+// attaches //lint:hotpath directives, and resolves edges. Package, file and
+// declaration order are all deterministic, so node IDs, edge order and every
+// downstream traversal are too.
+func buildCallGraph(m *Module) *callGraph {
+	g := &callGraph{
+		nodes: map[string]*funcNode{},
+		byObj: map[types.Object]*funcNode{},
+		byLit: map[*ast.FuncLit]*funcNode{},
+	}
+	for _, p := range m.Passes {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						continue
+					}
+					n := &funcNode{id: declID(p.Rel, d), rel: p.Rel, pass: p, file: f, body: d.Body, pos: d.Pos()}
+					g.add(n)
+					if obj := p.Info.Defs[d.Name]; obj != nil {
+						g.byObj[obj] = n
+					}
+					g.indexLits(n, d.Body)
+				case *ast.GenDecl:
+					// package-level `var handler = func(...) {...}` — index the
+					// literal under the var's name so its body is analysable.
+					for _, spec := range d.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for vi, val := range vs.Values {
+							lit, ok := val.(*ast.FuncLit)
+							if !ok || vi >= len(vs.Names) {
+								continue
+							}
+							n := &funcNode{id: p.Rel + "." + vs.Names[vi].Name, rel: p.Rel, pass: p, file: f, body: lit.Body, pos: lit.Pos()}
+							g.add(n)
+							g.byLit[lit] = n
+							if obj := p.Info.Defs[vs.Names[vi]]; obj != nil {
+								g.byObj[obj] = n
+							}
+							g.indexLits(n, lit.Body)
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(g.order)
+	g.markHot(m)
+	for _, n := range g.sorted() {
+		g.resolveEdges(n)
+	}
+	return g
+}
+
+// indexLits creates child nodes for the function literals directly inside
+// body (nested literals recurse, each level numbering its own children).
+func (g *callGraph) indexLits(parent *funcNode, body *ast.BlockStmt) {
+	k := 0
+	ast.Inspect(body, func(x ast.Node) bool {
+		lit, ok := x.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		k++
+		child := &funcNode{
+			id:  fmt.Sprintf("%s$%d", parent.id, k),
+			rel: parent.rel, pass: parent.pass, file: parent.file,
+			body: lit.Body, pos: lit.Pos(),
+		}
+		g.add(child)
+		g.byLit[lit] = child
+		g.indexLits(child, lit.Body)
+		return false // the child owns its subtree
+	})
+}
+
+// markHot attaches //lint:hotpath directives: a directive on the function's
+// first line or in the directive block directly above it makes the function
+// a root and marks the annotation used.
+func (g *callGraph) markHot(m *Module) {
+	for _, id := range g.order {
+		n := g.nodes[id]
+		position := m.Fset.Position(n.pos)
+		file := m.relFile(position.Filename)
+		byLine := m.annotations[file]
+		if byLine == nil {
+			continue
+		}
+		if ann := byLine[position.Line]; ann != nil && ann.verb == "hotpath" {
+			ann.used = true
+			n.hot = true
+		}
+		for l := position.Line - 1; ; l-- {
+			ann := byLine[l]
+			if ann == nil {
+				break
+			}
+			if ann.verb == "hotpath" {
+				ann.used = true
+				n.hot = true
+			}
+		}
+	}
+}
+
+// resolveEdges walks one node's body and records every statically resolvable
+// callee. Nested literal bodies are skipped (they are their own nodes); the
+// literal itself yields an edge at its creation or call site.
+func (g *callGraph) resolveEdges(n *funcNode) {
+	p := n.pass
+	// funKind remembers which call expressions sit under defer/go, and
+	// funExpr marks expressions consumed as call targets so they do not also
+	// produce ref edges.
+	funKind := map[*ast.CallExpr]edgeKind{}
+	funExpr := map[ast.Expr]bool{}
+	ast.Inspect(n.body, func(x ast.Node) bool {
+		switch t := x.(type) {
+		case *ast.DeferStmt:
+			funKind[t.Call] = edgeDefer
+		case *ast.GoStmt:
+			funKind[t.Call] = edgeGo
+		case *ast.CallExpr:
+			fun := unparen(t.Fun)
+			funExpr[fun] = true
+			if inner, ok := genericBase(fun); ok {
+				funExpr[inner] = true
+				fun = inner
+			}
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				funExpr[ast.Expr(sel.Sel)] = true
+			}
+			kind, ok := funKind[t]
+			if !ok {
+				kind = edgeCall
+			}
+			if lit, isLit := fun.(*ast.FuncLit); isLit {
+				if to := g.byLit[lit]; to != nil {
+					n.out = append(n.out, &callEdge{to: to, pos: t.Pos(), kind: kind})
+				}
+			} else if to := g.resolve(p, fun); to != nil {
+				n.out = append(n.out, &callEdge{to: to, pos: t.Pos(), kind: kind})
+			}
+		case *ast.FuncLit:
+			if !funExpr[ast.Expr(t)] {
+				if to := g.byLit[t]; to != nil {
+					n.out = append(n.out, &callEdge{to: to, pos: t.Pos(), kind: edgeRef})
+				}
+			}
+			return false
+		case *ast.Ident:
+			if !funExpr[ast.Expr(t)] {
+				if to := g.resolve(p, t); to != nil {
+					n.out = append(n.out, &callEdge{to: to, pos: t.Pos(), kind: edgeRef})
+				}
+			}
+		case *ast.SelectorExpr:
+			if !funExpr[ast.Expr(t)] {
+				if to := g.resolve(p, t); to != nil {
+					n.out = append(n.out, &callEdge{to: to, pos: t.Pos(), kind: edgeRef})
+					funExpr[ast.Expr(t.Sel)] = true // don't re-resolve the Sel ident
+				}
+			}
+		}
+		return true
+	})
+}
+
+// resolve maps an expression in call or value position to a module-local
+// function node, if the type-checker pinned it to one.
+func (g *callGraph) resolve(p *Pass, e ast.Expr) *funcNode {
+	var obj types.Object
+	switch t := e.(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[t]
+	case *ast.SelectorExpr:
+		// methods and cross-package functions resolve through the Sel ident;
+		// byObj also answers for package-level vars bound to indexed literals
+		obj = p.Info.Uses[t.Sel]
+	}
+	if obj == nil {
+		return nil
+	}
+	if n := g.byObj[obj]; n != nil {
+		return n
+	}
+	// a method call on an instantiated generic receiver uses the instance's
+	// method object; its Origin is the declared generic method the graph
+	// indexed under
+	if fn, ok := obj.(*types.Func); ok {
+		return g.byObj[fn.Origin()]
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		pe, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = pe.X
+	}
+}
+
+// genericBase unwraps an explicit generic instantiation (F[T] in call
+// position) to the underlying function expression.
+func genericBase(e ast.Expr) (ast.Expr, bool) {
+	switch t := e.(type) {
+	case *ast.IndexExpr:
+		switch t.X.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			return t.X, true
+		}
+	case *ast.IndexListExpr:
+		switch t.X.(type) {
+		case *ast.Ident, *ast.SelectorExpr:
+			return t.X, true
+		}
+	}
+	return nil, false
+}
+
+// roots resolves the configured root IDs plus every //lint:hotpath function.
+// Configured IDs that do not resolve are skipped silently: the same Default
+// config lints both the real module and the test fixtures, and a root is a
+// claim about the module that declares it (TestHotPathRootsResolve pins the
+// real module's roots).
+func (g *callGraph) roots(ids []string) []*funcNode {
+	seen := map[string]bool{}
+	var out []*funcNode
+	for _, id := range ids {
+		if n := g.nodes[id]; n != nil && !seen[id] {
+			seen[id] = true
+			out = append(out, n)
+		}
+	}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.hot && !seen[n.id] {
+			seen[n.id] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// reach runs BFS from the roots over call/defer/go/ref edges, returning the
+// visit order and, for provenance, each node's BFS parent (nil for roots).
+func (g *callGraph) reach(roots []*funcNode) (order []*funcNode, parent map[*funcNode]*funcNode) {
+	parent = map[*funcNode]*funcNode{}
+	visited := map[*funcNode]bool{}
+	queue := make([]*funcNode, 0, len(roots))
+	for _, r := range roots {
+		if !visited[r] {
+			visited[r] = true
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range n.out {
+			if !visited[e.to] {
+				visited[e.to] = true
+				parent[e.to] = n
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return order, parent
+}
+
+// chain renders the root→node provenance path for diagnostics: the root
+// keeps its package qualifier, inner frames use short names.
+func (g *callGraph) chain(n *funcNode, parent map[*funcNode]*funcNode) string {
+	var rev []*funcNode
+	for cur := n; cur != nil; cur = parent[cur] {
+		rev = append(rev, cur)
+	}
+	parts := make([]string, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		if i == len(rev)-1 {
+			parts = append(parts, rev[i].id)
+		} else {
+			parts = append(parts, rev[i].short())
+		}
+	}
+	return strings.Join(parts, " → ")
+}

@@ -38,6 +38,18 @@ type Config struct {
 	GoAllowed   []string // packages that own concurrency (runtime + kernels)
 	PanicScope  []string // packages the panicpolicy check covers
 	PanicExempt []string // shape-validation packages allowed to panic
+
+	// HotPathRoots are call-graph function IDs (see callgraph.go:
+	// "internal/cluster.(*Outbox).Send") declared allocation-free: hotalloc
+	// flags every allocation site reachable from them. //lint:hotpath
+	// annotations add roots in-source. IDs that do not resolve in the linted
+	// module are skipped (the same config lints the test fixtures);
+	// TestHotPathRootsResolve pins that every entry resolves in the real
+	// module.
+	HotPathRoots []string
+	// LockOrderPkgs are the packages whose mutex acquisitions participate in
+	// the lockorder partial-order analysis.
+	LockOrderPkgs []string
 }
 
 // Default is the repo's contract as of PR 5. The scopes mirror DESIGN.md
@@ -98,5 +110,25 @@ func Default() *Config {
 		// (serve.ErrQueueFull et al.), never panic.
 		PanicScope:  []string{"internal"},
 		PanicExempt: []string{"internal/tensor", "internal/nn"},
+
+		// The declared zero-alloc hot paths, mirroring the dynamic gates:
+		// the Gang dispatch + worker loop and the dense combiner send feed
+		// TestSteadyStateAllocsPerRound (PR 8), the cache-hit path feeds the
+		// BENCH_storage 0 allocs/op gate (PR 9), and the serve pick paths are
+		// the per-task scheduler inner loops. The pregel superstep closures
+		// (computePhase/demuxPhase) are rooted in-source via //lint:hotpath.
+		HotPathRoots: []string{
+			"internal/cluster.(*Gang).Run",
+			"internal/cluster.(*Gang).worker",
+			"internal/cluster.(*Outbox).Send",
+			"internal/pregel.(*delivery).scatter",
+			"internal/serve.(*Batcher).orderLocked",
+			"internal/serve.(*Pool).pickLocked",
+			"internal/serve.(*Pool).take",
+			"internal/storage.(*CachedSource).Neighbors",
+		},
+		LockOrderPkgs: []string{
+			"internal/cluster", "internal/serve", "internal/storage",
+		},
 	}
 }

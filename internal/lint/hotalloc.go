@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc statically proves the declared hot paths allocation-free: every
+// function reachable on the call graph from a root — an ID in
+// Config.HotPathRoots or a //lint:hotpath-annotated function — is scanned
+// for allocation sites, and each site is reported with the root→site call
+// chain. It is the static shadow of the dynamic gates from PR 8
+// (TestSteadyStateAllocsPerRound: 0 allocs/round engine supersteps) and
+// PR 9 (0 allocs/op cache hits): those catch a regression after the fact in
+// one benchmark configuration; this names the allocation site in review.
+//
+// Flagged: make/new, map and slice composite literals, &T{} escapes,
+// append (the backing array may grow), function literals (closure capture),
+// fmt.* calls, string concatenation, string↔[]byte/[]rune and value→string
+// conversions, and interface boxing at call boundaries where the callee
+// signature is module-local.
+//
+// Soundness boundary (documented, deliberate): calls through function-typed
+// fields/variables and interface methods are not chased — the hot paths are
+// written monomorphically so the graph sees them — and allocations inside
+// stubbed stdlib callees are invisible. Sites that allocate only during
+// warm-up (monotonically growing reused buffers), on error paths, or that
+// the escape analysis provably keeps on the stack carry
+// //lint:allow hotalloc <why> annotations.
+var HotAlloc = &Check{
+	Name: "hotalloc",
+	Doc: "no allocation sites reachable from declared hot-path roots " +
+		"(Config.HotPathRoots + //lint:hotpath): make/new, composite literals, " +
+		"growing append, closures, interface boxing, string concat/conversion, fmt.*",
+	RunModule: func(m *Module) {
+		g := m.graph
+		roots := g.roots(m.Cfg.HotPathRoots)
+		if len(roots) == 0 {
+			return
+		}
+		order, parent := g.reach(roots)
+		for _, n := range order {
+			scanAllocs(m, n, g.chain(n, parent))
+		}
+	},
+}
+
+// scanAllocs reports every allocation site lexically inside one reachable
+// function. Nested literals are their own nodes (and their creation is
+// itself a closure-allocation site), so descent stops at them.
+func scanAllocs(m *Module, n *funcNode, chain string) {
+	p := n.pass
+	ast.Inspect(n.body, func(x ast.Node) bool {
+		switch t := x.(type) {
+		case *ast.FuncLit:
+			m.Reportf("hotalloc", t.Pos(), "closure allocates on the hot path [%s]", chain)
+			return false
+		case *ast.CallExpr:
+			scanCallAllocs(m, p, n.file, t, chain)
+		case *ast.CompositeLit:
+			switch typeUnder(p, t).(type) {
+			case *types.Slice:
+				m.Reportf("hotalloc", t.Pos(), "slice literal allocates on the hot path [%s]", chain)
+			case *types.Map:
+				m.Reportf("hotalloc", t.Pos(), "map literal allocates on the hot path [%s]", chain)
+			}
+		case *ast.UnaryExpr:
+			if t.Op == token.AND {
+				if _, ok := unparen(t.X).(*ast.CompositeLit); ok {
+					m.Reportf("hotalloc", t.Pos(), "&composite literal escapes to the heap on the hot path [%s]", chain)
+				}
+			}
+		case *ast.BinaryExpr:
+			if t.Op == token.ADD && isStringExpr(p, t) && !isConst(p, t) {
+				m.Reportf("hotalloc", t.Pos(), "string concatenation allocates on the hot path [%s]", chain)
+			}
+		}
+		return true
+	})
+}
+
+// scanCallAllocs classifies one call expression: allocating builtins,
+// allocating conversions, fmt.*, and interface boxing of arguments against a
+// resolvable (module-local) callee signature.
+func scanCallAllocs(m *Module, p *Pass, f *ast.File, call *ast.CallExpr, chain string) {
+	fun := unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok && p.isBuiltin(id) {
+		switch id.Name {
+		case "make":
+			m.Reportf("hotalloc", call.Pos(), "make allocates on the hot path [%s]", chain)
+		case "new":
+			m.Reportf("hotalloc", call.Pos(), "new allocates on the hot path [%s]", chain)
+		case "append":
+			m.Reportf("hotalloc", call.Pos(), "append may grow its backing array on the hot path [%s]", chain)
+		}
+		return
+	}
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if path, ok := p.pkgRef(f, sel); ok && path == "fmt" {
+			m.Reportf("hotalloc", call.Pos(), "fmt.%s allocates (formatting + boxing) on the hot path [%s]", sel.Sel.Name, chain)
+			return
+		}
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if tv.IsType() {
+		scanConversion(m, p, call, tv.Type, chain)
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	scanBoxing(m, p, call, sig, chain)
+}
+
+// scanConversion flags conversions that copy memory: string↔[]byte/[]rune
+// and integer/rune→string. Constant-folded conversions are free.
+func scanConversion(m *Module, p *Pass, call *ast.CallExpr, to types.Type, chain string) {
+	if len(call.Args) != 1 || isConst(p, call) {
+		return
+	}
+	from := typeOf(p, call.Args[0])
+	if from == nil {
+		return
+	}
+	toStr := isString(to)
+	fromStr := isString(from)
+	_, toSlice := to.Underlying().(*types.Slice)
+	_, fromSlice := from.Underlying().(*types.Slice)
+	switch {
+	case toStr && fromSlice:
+		m.Reportf("hotalloc", call.Pos(), "[]byte/[]rune→string conversion copies on the hot path [%s]", chain)
+	case toSlice && fromStr:
+		m.Reportf("hotalloc", call.Pos(), "string→slice conversion copies on the hot path [%s]", chain)
+	case toStr && !fromStr:
+		m.Reportf("hotalloc", call.Pos(), "value→string conversion allocates on the hot path [%s]", chain)
+	}
+}
+
+// scanBoxing flags concrete non-pointer-shaped arguments passed where the
+// (module-local, hence resolvable) callee declares an interface parameter:
+// the value is copied to the heap to build the interface word pair.
+func scanBoxing(m *Module, p *Pass, call *ast.CallExpr, sig *types.Signature, chain string) {
+	params := sig.Params()
+	if params == nil || params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // arg... forwards the slice, no per-element boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !boxes(typeOf(p, arg), pt) {
+			continue
+		}
+		m.Reportf("hotalloc", arg.Pos(), "%s boxed into interface %s at call boundary on the hot path [%s]",
+			typeLabel(typeOf(p, arg)), typeLabel(pt), chain)
+	}
+}
+
+// boxes reports whether passing a value of type from as parameter type to
+// materialises an interface from a non-pointer-shaped concrete value.
+func boxes(from, to types.Type) bool {
+	if from == nil || to == nil {
+		return false
+	}
+	if _, isTP := to.(*types.TypeParam); isTP {
+		return false // constraint satisfaction, not boxing
+	}
+	if _, isIface := to.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	if _, isTP := from.(*types.TypeParam); isTP {
+		return false
+	}
+	if types.IsInterface(from) {
+		return false
+	}
+	switch u := from.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false // pointer-shaped: the interface data word holds it directly
+	case *types.Basic:
+		switch u.Kind() {
+		case types.UntypedNil, types.UnsafePointer, types.Invalid:
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+func typeOf(p *Pass, e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func typeUnder(p *Pass, e ast.Expr) types.Type {
+	if t := typeOf(p, e); t != nil {
+		return t.Underlying()
+	}
+	return nil
+}
+
+func isConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isStringExpr(p *Pass, e ast.Expr) bool {
+	t := typeOf(p, e)
+	return t != nil && isString(t)
+}
+
+// typeLabel renders a type compactly (package base names, not full paths).
+func typeLabel(t types.Type) string {
+	if t == nil {
+		return "value"
+	}
+	return types.TypeString(t, func(pkg *types.Package) string { return pkg.Name() })
+}

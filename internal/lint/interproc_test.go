@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildModule loads root and assembles the Module + call graph the
+// interprocedural checks run on, without running any check.
+func buildModule(t *testing.T, root string, cfg *Config) *Module {
+	t.Helper()
+	l, err := load(root, cfg.ModulePath)
+	if err != nil {
+		t.Fatalf("load %s: %v", root, err)
+	}
+	var diags []Diagnostic
+	byFile := map[string]map[int]*annotation{}
+	var annos []*annotation
+	known := checkNames()
+	var passes []*Pass
+	for _, pk := range l.packages() {
+		p := &Pass{
+			Fset:        l.fset,
+			Rel:         pk.rel,
+			Files:       pk.files,
+			Info:        pk.info,
+			Cfg:         cfg,
+			relFile:     l.relFile,
+			diags:       &diags,
+			annotations: byFile,
+		}
+		for _, f := range pk.files {
+			name := l.relFile(l.fset.Position(f.Pos()).Filename)
+			byFile[name] = parseAnnotations(l.fset, f, known, &diags, l.relFile, &annos)
+		}
+		passes = append(passes, p)
+	}
+	m := &Module{
+		Fset:        l.fset,
+		Passes:      passes,
+		Cfg:         cfg,
+		relFile:     l.relFile,
+		diags:       &diags,
+		annotations: byFile,
+	}
+	m.graph = buildCallGraph(m)
+	return m
+}
+
+// TestHotPathRootsResolve pins that every configured hot-path root names a
+// function that actually exists in the real module. roots() skips unresolved
+// IDs silently (the same Default config lints the fixtures), so a typo or a
+// rename would otherwise turn a root into a silent no-op — the whole
+// allocation-freedom proof for that path would vanish without a failure.
+func TestHotPathRootsResolve(t *testing.T) {
+	root, modpath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.ModulePath = modpath
+	m := buildModule(t, root, cfg)
+	for _, id := range cfg.HotPathRoots {
+		if m.graph.nodes[id] == nil {
+			t.Errorf("HotPathRoots entry %q resolves to no function in the module (renamed? typo?)", id)
+		}
+	}
+}
+
+// TestConfigScopesExist pins every directory-valued scope list in the default
+// config to an existing directory: a scope naming a moved or deleted package
+// silently stops checking anything.
+func TestConfigScopesExist(t *testing.T) {
+	root, _, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	lists := map[string][]string{
+		"MapRangePkgs":  cfg.MapRangePkgs,
+		"WallclockPkgs": cfg.WallclockPkgs,
+		"RandScope":     cfg.RandScope,
+		"GoScope":       cfg.GoScope,
+		"GoAllowed":     cfg.GoAllowed,
+		"PanicScope":    cfg.PanicScope,
+		"PanicExempt":   cfg.PanicExempt,
+		"LockOrderPkgs": cfg.LockOrderPkgs,
+	}
+	names := make([]string, 0, len(lists))
+	for name := range lists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	check := func(list, dir string) {
+		fi, err := os.Stat(filepath.Join(root, filepath.FromSlash(dir)))
+		if err != nil || !fi.IsDir() {
+			t.Errorf("%s entry %q is not a directory under the module root", list, dir)
+		}
+	}
+	for _, name := range names {
+		for _, dir := range lists[name] {
+			check(name, dir)
+		}
+	}
+	// HotPathRoots are function IDs "<pkgdir>.<func>"; the package dir part
+	// must exist too.
+	for _, id := range cfg.HotPathRoots {
+		dir, _, ok := strings.Cut(id, ".")
+		if !ok {
+			t.Errorf("HotPathRoots entry %q has no package dir prefix", id)
+			continue
+		}
+		check("HotPathRoots", dir)
+	}
+}
+
+// TestModuleLockOrderSummaries sanity-checks the lockorder prerequisites on
+// the real module: the packages in scope contain lock acquisitions the
+// analysis can classify (an empty event stream would make the clean run
+// vacuous).
+func TestModuleLockOrderSummaries(t *testing.T) {
+	root, modpath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Default()
+	cfg.ModulePath = modpath
+	m := buildModule(t, root, cfg)
+	inScope := func(rel string) bool {
+		for _, pre := range cfg.LockOrderPkgs {
+			if pathWithin(rel, pre) {
+				return true
+			}
+		}
+		return false
+	}
+	events := 0
+	for _, id := range m.graph.order {
+		n := m.graph.nodes[id]
+		if !inScope(n.rel) {
+			continue
+		}
+		for _, ev := range lockEvents(m, n) {
+			if ev.kind == evAcquire {
+				events++
+			}
+		}
+	}
+	if events == 0 {
+		t.Fatal("no classifiable lock acquisitions found in the lockorder scope; the module-clean result is vacuous")
+	}
+}

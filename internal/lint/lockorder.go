@@ -1,0 +1,364 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder infers the mutex-acquisition partial order across the packages
+// in Config.LockOrderPkgs (the cluster runtime, the serving tier and the
+// block-cache layer — everything that holds locks near the hot paths) and
+// reports two classes of deadlock statically:
+//
+//   - inversion: one path acquires lock A then lock B while another acquires
+//     B then A. The barrier/SetLinkCost deadlocks fixed in PR 1 were
+//     instances of exactly this class.
+//   - re-acquisition: a path acquires a lock class it already holds (Go
+//     mutexes are not reentrant; this self-deadlocks at runtime).
+//
+// Locks are recognised syntactically — zero-argument Lock/RLock/Unlock/
+// RUnlock method calls — because sync is a stubbed import in this loader;
+// the receiver is classified to a lock class by its owner type
+// ("internal/serve.Pool.mu", "internal/storage.policyMu"). Held sets are
+// tracked linearly through each function body (a deferred unlock keeps the
+// lock held to the end) and propagate across calls through per-function
+// acquire summaries on the call graph, so "holds A, calls f, f acquires B"
+// creates the A→B order edge with the call chain in the diagnostic.
+var LockOrder = &Check{
+	Name: "lockorder",
+	Doc: "no two paths may acquire two mutexes in opposite orders, and no path " +
+		"may re-acquire a lock class it already holds (scope: Config.LockOrderPkgs)",
+	RunModule: runLockOrder,
+}
+
+const (
+	evAcquire = iota
+	evRelease
+	evCall
+)
+
+// lockEvent is one entry of a function's linearised lock behaviour.
+type lockEvent struct {
+	kind  int
+	class string    // evAcquire/evRelease
+	to    *funcNode // evCall
+	pos   token.Pos
+}
+
+// acqInfo is one entry of a function's acquire summary: how the function
+// (transitively) comes to acquire a lock class.
+type acqInfo struct {
+	pos  token.Pos // direct lock site, or the call site it propagated through
+	next *funcNode // nil = acquired directly in this function
+}
+
+// orderEdge is one observed "holding held, acquires acquired" fact with
+// provenance.
+type orderEdge struct {
+	node     *funcNode
+	held     string
+	acquired string
+	heldPos  token.Pos
+	pos      token.Pos // acquisition or call site the edge was observed at
+	via      *funcNode // nil = acquired directly at pos
+}
+
+func runLockOrder(m *Module) {
+	g := m.graph
+	if len(m.Cfg.LockOrderPkgs) == 0 {
+		return
+	}
+	inScope := func(n *funcNode) bool {
+		for _, pre := range m.Cfg.LockOrderPkgs {
+			if pathWithin(n.rel, pre) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Linearised lock events per in-scope function, in source order.
+	events := map[*funcNode][]lockEvent{}
+	for _, n := range g.sorted() {
+		if inScope(n) {
+			events[n] = lockEvents(m, n)
+		}
+	}
+
+	// Acquire summaries: seed with direct acquisitions, then propagate over
+	// call/defer/go/ref edges to a fixpoint. Every node participates so an
+	// out-of-scope intermediary still carries in-scope acquisitions through.
+	acq := map[*funcNode]map[string]*acqInfo{}
+	for _, n := range g.sorted() {
+		for _, ev := range events[n] {
+			if ev.kind != evAcquire {
+				continue
+			}
+			if acq[n] == nil {
+				acq[n] = map[string]*acqInfo{}
+			}
+			if acq[n][ev.class] == nil {
+				acq[n][ev.class] = &acqInfo{pos: ev.pos}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.sorted() {
+			for _, e := range n.out {
+				for _, c := range sortedClassKeys(acq[e.to]) {
+					if acq[n] == nil {
+						acq[n] = map[string]*acqInfo{}
+					}
+					if acq[n][c] == nil {
+						acq[n][c] = &acqInfo{pos: e.pos, next: e.to}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Simulate each in-scope function: track the held stack, record order
+	// edges, and report re-acquisition of a held class immediately.
+	type heldLock struct {
+		class string
+		pos   token.Pos
+	}
+	edges := map[string]*orderEdge{} // "held\x00acquired" → first observed edge
+	selfSeen := map[string]bool{}
+	for _, n := range g.sorted() {
+		evs := events[n]
+		if len(evs) == 0 {
+			continue
+		}
+		merged := append([]lockEvent{}, evs...)
+		for _, e := range n.out {
+			merged = append(merged, lockEvent{kind: evCall, to: e.to, pos: e.pos})
+		}
+		sort.SliceStable(merged, func(i, j int) bool { return merged[i].pos < merged[j].pos })
+		var held []heldLock
+		note := func(h heldLock, class string, pos token.Pos, via *funcNode) {
+			if h.class == class {
+				key := fmt.Sprintf("%s@%d", class, pos)
+				if !selfSeen[key] {
+					selfSeen[key] = true
+					m.Reportf("lockorder", pos,
+						"acquires %s while it is already held (held since %s)%s: Go mutexes are not reentrant, this self-deadlocks",
+						class, m.Position(h.pos), viaText(m, acq, n, via, class))
+				}
+				return
+			}
+			key := h.class + "\x00" + class
+			if edges[key] == nil {
+				edges[key] = &orderEdge{node: n, held: h.class, acquired: class, heldPos: h.pos, pos: pos, via: via}
+			}
+		}
+		for _, ev := range merged {
+			switch ev.kind {
+			case evAcquire:
+				for _, h := range held {
+					note(h, ev.class, ev.pos, nil)
+				}
+				held = append(held, heldLock{class: ev.class, pos: ev.pos})
+			case evRelease:
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].class == ev.class {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case evCall:
+				if len(held) == 0 {
+					continue
+				}
+				for _, c := range sortedClassKeys(acq[ev.to]) {
+					for _, h := range held {
+						note(h, c, ev.pos, ev.to)
+					}
+				}
+			}
+		}
+	}
+
+	// Report each inverted pair once, anchored at the lexicographically
+	// smaller direction's first observed edge.
+	keys := make([]string, 0, len(edges))
+	for k := range edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := edges[k]
+		if e.held > e.acquired {
+			continue // the A<B direction owns the report
+		}
+		r := edges[e.acquired+"\x00"+e.held]
+		if r == nil {
+			continue
+		}
+		m.Reportf("lockorder", e.pos,
+			"acquires %s while holding %s%s, but %s acquires %s while holding %s%s: lock order inversion (pick one global acquisition order)",
+			e.acquired, e.held, viaText(m, acq, e.node, e.via, e.acquired),
+			m.Position(r.pos), r.acquired, r.held, viaText(m, acq, r.node, r.via, r.acquired))
+	}
+}
+
+// viaText renders the call chain through which a class is acquired, when the
+// acquisition is not directly in the reporting function.
+func viaText(m *Module, acq map[*funcNode]map[string]*acqInfo, n *funcNode, via *funcNode, class string) string {
+	if via == nil {
+		return ""
+	}
+	parts := []string{n.short(), via.short()}
+	if acq != nil {
+		for cur := via; ; {
+			info := acq[cur][class]
+			if info == nil || info.next == nil {
+				break
+			}
+			cur = info.next
+			parts = append(parts, cur.short())
+		}
+	}
+	return " (call chain " + strings.Join(parts, " → ") + ")"
+}
+
+// lockEvents linearises one function body: zero-argument Lock/RLock/Unlock/
+// RUnlock method calls become acquire/release events (a deferred unlock is
+// dropped — the lock stays held to the end; a deferred lock is ignored).
+// Nested function literals are their own nodes and are skipped.
+func lockEvents(m *Module, n *funcNode) []lockEvent {
+	p := n.pass
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(n.body, func(x ast.Node) bool {
+		if d, ok := x.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+	var out []lockEvent
+	ast.Inspect(n.body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var kind int
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			kind = evAcquire
+		case "Unlock", "RUnlock":
+			kind = evRelease
+		default:
+			return true
+		}
+		if deferred[call] {
+			return true
+		}
+		class, ok := lockClassOf(m, p, sel.X)
+		if !ok {
+			return true
+		}
+		out = append(out, lockEvent{kind: kind, class: class, pos: call.Pos()})
+		return true
+	})
+	return out
+}
+
+// lockClassOf classifies a lock receiver expression to a stable class name:
+// the owner type's package-qualified field ("internal/serve.Pool.mu"), a
+// package-level var ("internal/storage.policyMu"), or — when type info is
+// unavailable — the textual selector path. Locals and parameters are
+// unclassifiable and skipped (conservative: no events, no false pairs).
+func lockClassOf(m *Module, p *Pass, e ast.Expr) (string, bool) {
+	e = unparen(e)
+	for {
+		if ix, ok := e.(*ast.IndexExpr); ok { // mu[i]: per-lane lock arrays share a class
+			e = unparen(ix.X)
+			continue
+		}
+		if st, ok := e.(*ast.StarExpr); ok {
+			e = unparen(st.X)
+			continue
+		}
+		break
+	}
+	switch t := e.(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := p.Info.Types[t.X]; ok && tv.Type != nil {
+			typ := tv.Type
+			for {
+				ptr, ok := typ.(*types.Pointer)
+				if !ok {
+					break
+				}
+				typ = ptr.Elem()
+			}
+			if named, ok := typ.(*types.Named); ok && named.Obj() != nil {
+				return relOfPkg(m, named.Obj().Pkg()) + "." + named.Obj().Name() + "." + t.Sel.Name, true
+			}
+		}
+		if text := selText(t); text != "" {
+			return p.Rel + "." + text, true
+		}
+		return "", false
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[t].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return relOfPkg(m, v.Pkg()) + "." + t.Name, true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+// relOfPkg maps a types.Package back to its module-relative dir.
+func relOfPkg(m *Module, pkg *types.Package) string {
+	if pkg == nil {
+		return ""
+	}
+	path := pkg.Path()
+	if path == m.Cfg.ModulePath {
+		return ""
+	}
+	if rest, ok := strings.CutPrefix(path, m.Cfg.ModulePath+"/"); ok {
+		return rest
+	}
+	return path
+}
+
+// selText renders a pure ident/selector chain ("g.c.mu"); anything else
+// yields "".
+func selText(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		if base := selText(t.X); base != "" {
+			return base + "." + t.Sel.Name
+		}
+	}
+	return ""
+}
+
+func sortedClassKeys(m map[string]*acqInfo) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

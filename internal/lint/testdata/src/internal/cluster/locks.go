@@ -1,0 +1,146 @@
+// lockorder fixtures. The mutexes are module-local fakes: the check
+// recognises Lock/RLock/Unlock/RUnlock syntactically (sync is a stubbed
+// import in the lint loader) and classifies receivers by owner type, so a
+// fake works exactly like sync.Mutex does in the real module.
+package clusterfix
+
+type fakeMu struct{ held bool }
+
+func (m *fakeMu) Lock()    {}
+func (m *fakeMu) Unlock()  {}
+func (m *fakeMu) RLock()   {}
+func (m *fakeMu) RUnlock() {}
+
+type lockA struct{ mu fakeMu }
+type lockB struct{ mu fakeMu }
+
+// abOrder and baOrder acquire the same two lock classes in opposite orders:
+// the canonical inversion, reported once, anchored at the lexicographically
+// smaller direction with the opposite site cross-referenced.
+func abOrder(a *lockA, b *lockB) {
+	a.mu.Lock()
+	b.mu.Lock() // want "lock order inversion"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func baOrder(a *lockA, b *lockB) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type lockC struct{ mu fakeMu }
+type lockD struct{ mu fakeMu }
+
+// outerCD/outerDC invert interprocedurally: each holds its own lock across a
+// call (the deferred unlock keeps it held) into a helper that acquires the
+// other. The diagnostic names the call chain.
+func outerCD(c *lockC, d *lockD) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	acquireD(d) // want "acquires internal/cluster.lockD.mu while holding internal/cluster.lockC.mu (call chain outerCD → acquireD)"
+}
+
+func acquireD(d *lockD) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func outerDC(c *lockC, d *lockD) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	acquireC(c)
+}
+
+func acquireC(c *lockC) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// relockSelf re-acquires a class it already holds, directly.
+func relockSelf(a *lockA) {
+	a.mu.Lock()
+	a.mu.Lock() // want "self-deadlocks"
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// relockViaCall re-acquires through a callee's summary.
+func relockViaCall(b *lockB) {
+	b.mu.Lock()
+	lockBAgain(b) // want "self-deadlocks"
+	b.mu.Unlock()
+}
+
+func lockBAgain(b *lockB) {
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+type lockE struct{ mu fakeMu }
+type lockF struct{ mu fakeMu }
+
+// consistent1/consistent2 nest two classes in the same order everywhere: a
+// partial order exists, nothing to report.
+func consistent1(e *lockE, f *lockF) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func consistent2(e *lockE, f *lockF) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	f.mu.Unlock()
+}
+
+// sequential never holds both at once — release before acquire is not an
+// order edge, whatever the textual order.
+func sequential(a *lockA, b *lockB) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+type lockG struct{ mu fakeMu }
+type lockH struct{ mu fakeMu }
+
+// annotatedGH/annotatedHG invert, but the anchor site carries a reasoned
+// suppression (the annotation is "used", so it is not reported stale).
+func annotatedGH(g *lockG, h *lockH) {
+	g.mu.Lock()
+	//lint:allow lockorder fixture: the two phases are documented as never concurrent, the inversion cannot interleave
+	h.mu.Lock()
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+func annotatedHG(g *lockG, h *lockH) {
+	h.mu.Lock()
+	g.mu.Lock()
+	g.mu.Unlock()
+	h.mu.Unlock()
+}
+
+// localMu takes the mutex as a parameter: unclassifiable, conservatively
+// ignored rather than guessed into a false pair.
+func localMu(mu *fakeMu, a *lockA) {
+	mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	mu.Unlock()
+}
+
+var globalMu fakeMu
+
+// usesGlobal exercises the package-level-var lock class; no nesting, no
+// report.
+func usesGlobal() {
+	globalMu.Lock()
+	globalMu.Unlock()
+}

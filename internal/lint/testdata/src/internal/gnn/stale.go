@@ -1,0 +1,15 @@
+// Stale-suppression fixtures: a well-formed directive whose diagnostic no
+// longer fires is dead weight — the code it excused was fixed or deleted —
+// and the annotation inventory must not rot. Each directive below suppresses
+// zero diagnostics and is itself reported.
+package gnnfix
+
+// want+1 "suppresses zero globalrand diagnostics"
+//lint:allow globalrand the global draw this excused was deleted long ago; the annotation rotted
+
+func cleanDraw() int { return 4 }
+
+// want+1 "suppresses zero maprange diagnostics"
+//lint:deterministic the fold this excused is gone (and this package is outside the maprange scope anyway)
+
+var answer = 7

@@ -1,0 +1,88 @@
+// Package hotpathfix exercises the interprocedural hotalloc check: roots are
+// declared in-source with //lint:hotpath, every allocation class has a
+// positive case, the diagnostics carry root→site call chains across function
+// boundaries (including deferred calls and method values), and suppression
+// demands a reason. cold is the reachability negative: it allocates freely
+// and is never reported because no root reaches it.
+package hotpathfix
+
+import "fmt"
+
+type payload struct{ a, b int }
+
+type ring struct {
+	buf []int
+}
+
+//lint:hotpath the fixture's dense inner loop
+func hotRoot(r *ring, n int) {
+	s := make([]int, n) // want "make allocates"
+	r.buf = s
+	helper(r, n)
+	r.consume(n)
+	warmup(r, n)
+}
+
+func helper(r *ring, n int) {
+	r.buf = append(r.buf, n) // want "append may grow its backing array"
+	sink(n)                  // want "int boxed into interface"
+	deep(r)
+}
+
+func deep(r *ring) {
+	p := new(payload) // want "new allocates on the hot path [internal/hotpath.hotRoot → helper → deep]"
+	p.a = 1
+	r.buf = r.buf[:0]
+}
+
+func (r *ring) consume(n int) {
+	stamp := map[int]int{} // want "map literal allocates"
+	_ = stamp
+	ids := []int{1, 2, n} // want "slice literal allocates"
+	_ = ids
+	pp := &payload{a: n} // want "&composite literal escapes"
+	pp.b = n
+}
+
+func sink(v any) { _ = v }
+
+// warmup shows the suppression contract: growth to the high-water mark is a
+// warm-up allocation, excused with a reason.
+func warmup(r *ring, n int) {
+	if cap(r.buf) < n {
+		//lint:allow hotalloc warm-up growth only: the buffer reaches its high-water mark once, then is reused
+		r.buf = make([]int, n)
+	}
+	r.buf = r.buf[:n]
+}
+
+//lint:hotpath text shaping on a second declared root
+func hotText(name string, raw []byte, n int) string {
+	label := "q:" + name // want "string concatenation allocates"
+	bs := []byte(label)  // want "string→slice conversion copies"
+	_ = bs
+	back := string(raw) // want "→string conversion copies"
+	_ = back
+	ch := string(rune(n)) // want "value→string conversion allocates"
+	_ = ch
+	desc := fmt.Sprintf("%s:%d", label, n) // want "fmt.Sprintf allocates"
+	grab := func() string { return desc }  // want "closure allocates"
+	return grab()
+}
+
+//lint:hotpath deferred calls and method values are call edges too
+func hotDefer(r *ring) {
+	defer r.consume(0)
+	mv := r.consume
+	_ = mv
+}
+
+// cold allocates and nobody declared it hot: no diagnostics.
+func cold(n int) []int {
+	out := make([]int, n)
+	return append(out, len(out))
+}
+
+// want+1 "marks no function"
+//lint:hotpath this directive attaches to nothing and must be reported stale
+var floating = 3

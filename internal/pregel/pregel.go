@@ -426,6 +426,7 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 	// the two hot-path phases, created once and reused every round; `step`
 	// is published to the workers through the gang's mutex handoff
 	step := 0
+	//lint:hotpath per-round compute phase: one call per active vertex per superstep
 	computePhase := func(w int) {
 		ctx := ctxs[w]
 		ctx.superstep = step
@@ -452,6 +453,7 @@ func Run[S, M any](g *graph.Graph, prog Program[S, M], cfg Config) (*Result[S], 
 		// worker-completion order, i.e. scheduling order).
 		activeCnt[w] = cnt
 	}
+	//lint:hotpath per-round demux phase: groups every inbound message by destination
 	demuxPhase := func(w int) {
 		var stream []vmsg[M]
 		if legacy {

@@ -56,7 +56,6 @@ func NewBatcher[Q, A any](opts Options, run func(batch []Q) ([]A, error)) (*Batc
 	b := &Batcher[Q, A]{opts: opts, clock: opts.clock(), run: run}
 	b.cond = sync.NewCond(&b.mu)
 	b.wg.Add(1)
-	//lint:allow nakedgo the serving loop is owned by the Batcher and joined in Close; batch windows form outside cluster.Run
 	go b.loop()
 	return b, nil
 }
@@ -205,8 +204,10 @@ func (b *Batcher[Q, A]) nextBatch() ([]*bitem[Q, A], bool) {
 func (b *Batcher[Q, A]) orderLocked() {
 	switch b.opts.Policy {
 	case ShortestRemaining:
+		//lint:allow hotalloc sort comparator does not escape SliceStable, and ordering runs once per batch window, not per query
 		sort.SliceStable(b.queue, func(i, k int) bool { return b.queue[i].cost < b.queue[k].cost })
 	case WeightedFair:
+		//lint:allow hotalloc sort comparator does not escape SliceStable, and ordering runs once per batch window, not per query
 		sort.SliceStable(b.queue, func(i, k int) bool {
 			return b.queue[i].ticket.weight > b.queue[k].ticket.weight
 		})

@@ -98,7 +98,6 @@ func NewPool[T, A any](opts Options, exec func(tc *TaskContext[T], task T) A, me
 	p.cond = sync.NewCond(&p.mu)
 	for w := 0; w < opts.workers(); w++ {
 		p.wg.Add(1)
-		//lint:allow nakedgo bounded worker pool owned by the serving tier, joined in Close; serves latency-sensitive interactive queries outside cluster.Run
 		go p.worker()
 	}
 	return p, nil
@@ -239,6 +238,7 @@ func (p *Pool[T, A]) reapLocked() {
 			j.tasks = nil
 		}
 		if j.term != nil && j.pending == 0 {
+			//lint:allow hotalloc termination path: grows only when a query was canceled or blew its deadline, not per task draw
 			done = append(done, j)
 		}
 	}
@@ -247,16 +247,20 @@ func (p *Pool[T, A]) reapLocked() {
 	}
 }
 
+// runnable resolves a job id to the job when it still has queued tasks,
+// else nil. A method, not a closure in pickLocked: pickLocked runs per task
+// draw and must not allocate.
+func (p *Pool[T, A]) runnable(id int64) *pjob[T, A] {
+	if j := p.jobs[id]; j != nil && len(j.tasks) > 0 {
+		return j
+	}
+	return nil
+}
+
 // pickLocked selects the next query to draw a task from, or nil when no
 // query has a runnable task. Ties break toward earlier admission, so every
 // policy is deterministic given the same scheduling state.
 func (p *Pool[T, A]) pickLocked() *pjob[T, A] {
-	runnable := func(id int64) *pjob[T, A] {
-		if j := p.jobs[id]; j != nil && len(j.tasks) > 0 {
-			return j
-		}
-		return nil
-	}
 	switch p.opts.Policy {
 	case RoundRobin:
 		if len(p.order) == 0 {
@@ -264,7 +268,7 @@ func (p *Pool[T, A]) pickLocked() *pjob[T, A] {
 		}
 		for i := 0; i < len(p.order); i++ {
 			idx := (p.rr + i) % len(p.order)
-			if j := runnable(p.order[idx]); j != nil {
+			if j := p.runnable(p.order[idx]); j != nil {
 				p.rr = (idx + 1) % len(p.order)
 				return j
 			}
@@ -272,7 +276,7 @@ func (p *Pool[T, A]) pickLocked() *pjob[T, A] {
 		return nil
 	case FIFO:
 		for _, id := range p.order {
-			if j := runnable(id); j != nil {
+			if j := p.runnable(id); j != nil {
 				return j
 			}
 		}
@@ -280,7 +284,7 @@ func (p *Pool[T, A]) pickLocked() *pjob[T, A] {
 	case ShortestRemaining:
 		var best *pjob[T, A]
 		for _, id := range p.order {
-			j := runnable(id)
+			j := p.runnable(id)
 			if j == nil {
 				continue
 			}
@@ -292,7 +296,7 @@ func (p *Pool[T, A]) pickLocked() *pjob[T, A] {
 	case WeightedFair:
 		var best *pjob[T, A]
 		for _, id := range p.order {
-			j := runnable(id)
+			j := p.runnable(id)
 			if j == nil {
 				continue
 			}
@@ -339,6 +343,7 @@ func (p *Pool[T, A]) finishJobLocked(j *pjob[T, A]) {
 	delete(p.jobs, j.id)
 	for i, id := range p.order {
 		if id == j.id {
+			//lint:allow hotalloc in-place removal: appending a shorter tail into the same backing array can never grow it
 			p.order = append(p.order[:i], p.order[i+1:]...)
 			if p.rr > i {
 				p.rr--

@@ -191,13 +191,16 @@ func (s *CachedSource) alloc(offsLen, adjLen int) *entry {
 		s.free = e.next
 		e.next = nil
 	} else {
+		//lint:allow hotalloc freelist miss: one entry per resident block, bounded by the cache budget, recycled forever after
 		e = &entry{}
 	}
 	if cap(e.offs) < offsLen {
+		//lint:allow hotalloc warm-up growth only: offs grows to the largest block's vertex count, then the freelist recycles it
 		e.offs = make([]int32, offsLen)
 	}
 	e.offs = e.offs[:offsLen]
 	if cap(e.adj) < adjLen {
+		//lint:allow hotalloc warm-up growth only: adj grows to the largest block's arc count, then the freelist recycles it
 		e.adj = make([]graph.V, adjLen)
 	}
 	e.adj = e.adj[:adjLen]

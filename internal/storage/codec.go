@@ -47,6 +47,7 @@ func decodeAdj(out []graph.V, data []byte, deg int, n int) ([]byte, error) {
 	}
 	data = data[k:]
 	if first >= uint64(n) {
+		//lint:allow hotalloc corruption error path: boxing the ids into the message is free, decoding already failed
 		return nil, errCorrupt("neighbor id %d out of range [0,%d)", first, n)
 	}
 	out[0] = graph.V(first)
@@ -54,14 +55,17 @@ func decodeAdj(out []graph.V, data []byte, deg int, n int) ([]byte, error) {
 	for i := 1; i < deg; i++ {
 		gap, k := binary.Uvarint(data)
 		if k <= 0 {
+			//lint:allow hotalloc corruption error path: boxing the ids into the message is free, decoding already failed
 			return nil, errCorrupt("truncated varint at neighbor %d", i)
 		}
 		data = data[k:]
 		if gap >= uint64(n) { // also guards the prev += gap+1 below against wraparound
+			//lint:allow hotalloc corruption error path: boxing the ids into the message is free, decoding already failed
 			return nil, errCorrupt("neighbor gap %d out of range at neighbor %d", gap, i)
 		}
 		prev += gap + 1
 		if prev >= uint64(n) {
+			//lint:allow hotalloc corruption error path: boxing the ids into the message is free, decoding already failed
 			return nil, errCorrupt("neighbor id %d out of range [0,%d)", prev, n)
 		}
 		out[i] = graph.V(prev)

@@ -152,6 +152,7 @@ func errBudget(format string, args ...any) error {
 }
 
 func errCorrupt(format string, args ...any) error {
+	//lint:allow hotalloc corruption error path: reachable from Neighbors but only taken when the file is already bad
 	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
 }
 
